@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation: branch predictor quality and the optimum depth.
+ *
+ * The theory says p_opt^2 ~ 1/N_H (Eq. 2 and the B coefficients of
+ * Eq. 7): fewer hazards, deeper optimum. Branch mispredictions are
+ * the dominant depth-scaled hazard, so swapping predictors is a
+ * direct experimental handle on N_H. This bench runs the same traces
+ * under always-taken, bimodal and gshare front ends and reports the
+ * mispredict rates, extracted hazard ratios and BIPS^3/W optima.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "calib/extract.hh"
+#include "math/least_squares.hh"
+#include "power/activity_power.hh"
+#include "uarch/simulator.hh"
+
+using namespace pipedepth;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
+    banner(opt, "predictor ablation: hazards and BIPS^3/W optimum");
+    TableWriter t(opt.style());
+    t.addColumn("workload");
+    t.addColumn("predictor");
+    t.addColumn("mpki", 1);
+    t.addColumn("NH_per_instr", 3);
+    t.addColumn("p_opt", 2);
+
+    for (const char *name : {"gcc95", "websrv"}) {
+        const Trace trace =
+            findWorkload(name).makeTrace(opt.trace_length);
+        for (PredictorKind kind :
+             {PredictorKind::AlwaysTaken, PredictorKind::Bimodal,
+              PredictorKind::Gshare}) {
+            std::vector<double> depths, metric;
+            std::vector<SimResult> runs;
+            runs.reserve(24);
+            const SimResult *ref = nullptr;
+            for (int p = 2; p <= 25; ++p) {
+                PipelineConfig cfg = PipelineConfig::forDepth(p);
+                cfg.predictor = kind;
+                cfg.warmup_instructions = opt.warmup;
+                runs.push_back(simulate(trace, cfg));
+                if (p == 8)
+                    ref = &runs.back();
+            }
+            ActivityPowerModel power;
+            power = power.withLeakageFraction(*ref, 0.15);
+            for (const auto &r : runs) {
+                depths.push_back(r.depth);
+                metric.push_back(power.metric(r, 3.0, true));
+            }
+            const CubicPeak peak = fitCubicPeak(depths, metric);
+            const MachineParams mp = extractMachineParams(*ref);
+
+            t.beginRow();
+            t.cell(name);
+            t.cell(makePredictor(kind)->name());
+            t.cell(1000.0 * static_cast<double>(ref->mispredicts) /
+                   static_cast<double>(ref->instructions));
+            t.cell(mp.hazard_ratio);
+            t.cell(peak.x);
+        }
+    }
+    t.render(std::cout);
+
+    if (!opt.csv) {
+        std::printf("\nexpected from Eq. 2/7: better prediction -> "
+                    "lower N_H -> deeper optimum\n");
+    }
+    return 0;
+}

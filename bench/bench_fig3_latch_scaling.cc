@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Fig. 3: growth of the latch count with pipeline depth.
+ *
+ * Paper expectation: with the per-unit latch exponent at 1.3, the
+ * overall latch count follows a power law ~ p^1.1, because queues,
+ * completion and retirement do not deepen with the pipeline.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "math/least_squares.hh"
+#include "power/activity_power.hh"
+
+using namespace pipedepth;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+    const ActivityPowerModel model;
+
+    std::vector<double> xs, ys;
+    for (int p = 2; p <= 25; ++p) {
+        xs.push_back(p);
+        ys.push_back(model.latchCount(PipelineConfig::forDepth(p)));
+    }
+    const PowerLawFit fit = fitPowerLaw(xs, ys);
+    const double at_base = ys.front();
+
+    banner(opt, "Fig. 3: latch count vs pipeline depth");
+    TableWriter t(opt.style());
+    t.addColumn("p", 0);
+    t.addColumn("latches", 0);
+    t.addColumn("relative", 3);
+    t.addColumn("power_law_fit", 3);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        t.beginRow();
+        t.cell(xs[i]);
+        t.cell(ys[i]);
+        t.cell(ys[i] / at_base);
+        t.cell(fit.c * std::pow(xs[i], fit.k) / at_base);
+    }
+    t.render(std::cout);
+
+    if (!opt.csv) {
+        std::printf("\nper-unit latch exponent beta: %.2f\n",
+                    model.factors().beta_unit);
+        std::printf("fitted overall exponent:      %.3f (r2 = %.4f)\n",
+                    fit.k, fit.r2);
+        std::printf("paper: unit exponent 1.3 -> overall ~ p^1.1\n");
+    }
+    return 0;
+}

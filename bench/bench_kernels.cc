@@ -1,0 +1,152 @@
+/**
+ * @file
+ * google-benchmark timings of the library's hot kernels: trace
+ * generation, cycle-accurate simulation, root finding, the exact
+ * optimum solver and the cubic-fit extraction. These are the costs
+ * that determine how long the Fig. 6/7 catalog sweeps take.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "calib/extract.hh"
+#include "core/optimum_solver.hh"
+#include "core/power_model.hh"
+#include "math/least_squares.hh"
+#include "math/roots.hh"
+#include "trace/generator.hh"
+#include "uarch/simulator.hh"
+#include "workloads/catalog.hh"
+
+namespace
+{
+
+using namespace pipedepth;
+
+const Trace &
+benchTrace()
+{
+    static const Trace trace =
+        findWorkload("gcc95").makeTrace(100000);
+    return trace;
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    TraceGenParams params;
+    params.length = static_cast<std::size_t>(state.range(0));
+    params.seed = 7;
+    for (auto _ : state) {
+        const Trace t = generateTrace(params, "bench");
+        benchmark::DoNotOptimize(t.records.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10000)->Arg(100000);
+
+void
+BM_Simulate(benchmark::State &state)
+{
+    const Trace &trace = benchTrace();
+    const PipelineConfig config =
+        PipelineConfig::forDepth(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        const SimResult r = simulate(trace, config);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_Simulate)->Arg(2)->Arg(8)->Arg(25);
+
+void
+BM_DepthSweepPerDepth(benchmark::State &state)
+{
+    // One full 24-depth sweep per iteration, reported per depth.
+    const Trace &trace = benchTrace();
+    for (auto _ : state) {
+        for (int p = 2; p <= 25; ++p) {
+            const SimResult r = simulate(trace,
+                                         PipelineConfig::forDepth(p));
+            benchmark::DoNotOptimize(r.cycles);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 24);
+}
+BENCHMARK(BM_DepthSweepPerDepth);
+
+void
+BM_RealRoots(benchmark::State &state)
+{
+    MachineParams mp;
+    PowerParams pw;
+    pw.p_l = 0.01;
+    const OptimumSolver solver(mp, pw);
+    const Poly quartic = solver.paperQuartic(3.0);
+    for (auto _ : state) {
+        const auto roots = realRoots(quartic);
+        benchmark::DoNotOptimize(roots.data());
+    }
+}
+BENCHMARK(BM_RealRoots);
+
+void
+BM_SolveExact(benchmark::State &state)
+{
+    MachineParams mp;
+    PowerParams pw;
+    pw.gating = ClockGating::FineGrained;
+    pw = PowerModel::calibrateLeakage(mp, pw, 0.15, 8.0);
+    const OptimumSolver solver(mp, pw);
+    for (auto _ : state) {
+        const OptimumResult r = solver.solveExact(3.0);
+        benchmark::DoNotOptimize(r.p_opt);
+    }
+}
+BENCHMARK(BM_SolveExact);
+
+void
+BM_SolveNumeric(benchmark::State &state)
+{
+    MachineParams mp;
+    PowerParams pw;
+    pw.gating = ClockGating::FineGrained;
+    pw = PowerModel::calibrateLeakage(mp, pw, 0.15, 8.0);
+    const OptimumSolver solver(mp, pw);
+    for (auto _ : state) {
+        const OptimumResult r = solver.solveNumeric(3.0);
+        benchmark::DoNotOptimize(r.p_opt);
+    }
+}
+BENCHMARK(BM_SolveNumeric);
+
+void
+BM_CubicFitPeak(benchmark::State &state)
+{
+    std::vector<double> xs, ys;
+    for (int p = 2; p <= 25; ++p) {
+        xs.push_back(p);
+        ys.push_back(-(p - 8.0) * (p - 8.0) + 0.01 * p);
+    }
+    for (auto _ : state) {
+        const CubicPeak peak = fitCubicPeak(xs, ys);
+        benchmark::DoNotOptimize(peak.x);
+    }
+}
+BENCHMARK(BM_CubicFitPeak);
+
+void
+BM_ExtractParams(benchmark::State &state)
+{
+    const SimResult r = simulate(benchTrace(),
+                                 PipelineConfig::forDepth(8));
+    for (auto _ : state) {
+        const MachineParams mp = extractMachineParams(r);
+        benchmark::DoNotOptimize(mp.alpha);
+    }
+}
+BENCHMARK(BM_ExtractParams);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction benches.
+ *
+ * Every bench binary prints the series behind one figure (or the
+ * prose numbers) of the paper. `--csv` switches the output to CSV for
+ * plotting; `--trace-length N` and `--threads N` trade accuracy for
+ * speed.
+ */
+
+#ifndef PIPEDEPTH_BENCH_BENCH_UTIL_HH
+#define PIPEDEPTH_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "calib/depth_sweep.hh"
+#include "common/parallel.hh"
+#include "common/table.hh"
+
+namespace pipedepth
+{
+
+/** Command-line options shared by all benches. */
+struct BenchOptions
+{
+    bool csv = false;
+    std::size_t trace_length = 150000;
+    std::size_t warmup = 60000;
+    unsigned threads = 0; //!< 0 = hardware concurrency
+
+    TableWriter::Style
+    style() const
+    {
+        return csv ? TableWriter::Style::Csv : TableWriter::Style::Aligned;
+    }
+
+    SweepOptions
+    sweepOptions() const
+    {
+        SweepOptions opt;
+        opt.trace_length = trace_length;
+        opt.warmup_instructions = warmup;
+        return opt;
+    }
+};
+
+/** Parse the common flags; unknown flags abort with a usage message. */
+inline BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--trace-length" && i + 1 < argc) {
+            opt.trace_length =
+                static_cast<std::size_t>(std::strtoull(argv[++i],
+                                                       nullptr, 10));
+        } else if (arg == "--threads" && i + 1 < argc) {
+            opt.threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--csv] [--trace-length N] "
+                         "[--threads N]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+/** Sweep every catalog workload in parallel. */
+inline std::vector<SweepResult>
+sweepCatalog(const BenchOptions &opt)
+{
+    return parallelMap(
+        workloadCatalog(),
+        [&opt](const WorkloadSpec &w) {
+            return runDepthSweep(w, opt.sweepOptions());
+        },
+        opt.threads);
+}
+
+/** Print a banner line above a table (suppressed in CSV mode). */
+inline void
+banner(const BenchOptions &opt, const char *text)
+{
+    if (!opt.csv)
+        std::printf("\n== %s ==\n", text);
+}
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Design-space exploration with the analytic model.
+ *
+ * An early-concept-phase architect's view: for each combination of
+ * metric exponent m, leakage fraction and latch-growth exponent beta,
+ * where is the optimal pipeline depth? This is the use case the
+ * paper closes with: "This theory can be used to investigate numerous
+ * dependencies as new microarchitectures, workloads, or new
+ * technologies arise ... without the need for the detailed
+ * simulations."
+ *
+ * Run: ./examples/design_space
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/optimum_solver.hh"
+#include "core/power_model.hh"
+#include "core/sensitivity.hh"
+
+int
+main()
+{
+    using namespace pipedepth;
+
+    MachineParams machine; // typical 4-issue integer workload
+
+    std::printf("Optimum pipeline depth (stages) by metric, leakage "
+                "and latch exponent\n");
+    std::printf("(clock-gated; '-' = unpipelined design is optimal)\n\n");
+
+    TableWriter t;
+    t.addColumn("m", 0);
+    t.addColumn("leakage", 2);
+    t.addColumn("beta=1.0", 1);
+    t.addColumn("beta=1.1", 1);
+    t.addColumn("beta=1.3", 1);
+    t.addColumn("beta=1.5", 1);
+    t.addColumn("beta=1.8", 1);
+
+    for (const double m : {2.0, 3.0, 4.0}) {
+        for (const double leak : {0.0, 0.15, 0.5}) {
+            t.beginRow();
+            t.cell(m);
+            t.cell(leak);
+            for (const double beta : {1.0, 1.1, 1.3, 1.5, 1.8}) {
+                PowerParams power;
+                power.beta = beta;
+                power.gating = ClockGating::FineGrained;
+                power = PowerModel::calibrateLeakage(machine, power,
+                                                     leak, 8.0);
+                const OptimumResult r =
+                    OptimumSolver(machine, power).solveExact(m);
+                if (r.interior)
+                    t.cell(r.p_opt);
+                else
+                    t.cell("-");
+            }
+        }
+    }
+    t.render(std::cout);
+
+    // Which knobs matter most? (the paper: the exponents m and beta)
+    PowerParams power;
+    power.beta = 1.3;
+    power.gating = ClockGating::FineGrained;
+    power = PowerModel::calibrateLeakage(machine, power, 0.15, 8.0);
+
+    std::printf("\nElasticities of p_opt at the BIPS^3/W baseline "
+                "(d ln p_opt / d ln x):\n");
+    TableWriter s;
+    s.addColumn("parameter");
+    s.addColumn("elasticity", 3);
+    for (const auto &sens : optimumSensitivities(machine, power, 3.0)) {
+        s.beginRow();
+        s.cell(sens.parameter);
+        s.cell(sens.elasticity);
+    }
+    s.render(std::cout);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: the analytic optimum-depth model in ~40 lines.
+ *
+ * Computes the optimum pipeline depth of a typical 4-issue machine
+ * for the BIPS^m/W metric family, with and without clock gating —
+ * the core result of Hartstein & Puzak, MICRO 2003.
+ *
+ * Build & run:  ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/optimum_solver.hh"
+#include "core/power_model.hh"
+
+int
+main()
+{
+    using namespace pipedepth;
+
+    // Workload/technology: alpha = superscalar degree, gamma = pipe
+    // fraction a hazard drains, hazard_ratio = hazards/instruction,
+    // t_p = total logic depth (FO4), t_o = latch overhead (FO4).
+    MachineParams machine;
+    machine.alpha = 2.0;
+    machine.gamma = 0.45;
+    machine.hazard_ratio = 0.12;
+    machine.t_p = 140.0;
+    machine.t_o = 2.5;
+
+    std::printf("performance-only optimum: %.1f stages\n",
+                PerformanceModel(machine).performanceOnlyOptimum());
+
+    for (const bool gated : {true, false}) {
+        // Latch power with 15%% leakage at an 8-stage reference point.
+        PowerParams power;
+        power.beta = 1.3; // latches per unit grow as depth^1.3
+        power.gating = gated ? ClockGating::FineGrained
+                             : ClockGating::None;
+        power = PowerModel::calibrateLeakage(machine, power, 0.15, 8.0);
+
+        const OptimumSolver solver(machine, power);
+        std::printf("\n%s:\n", toString(power.gating).c_str());
+        for (const double m : {1.0, 2.0, 3.0}) {
+            const OptimumResult r = solver.solveExact(m);
+            if (r.interior) {
+                std::printf("  BIPS^%.0f/W: optimum %.2f stages "
+                            "(%.1f FO4/stage)\n",
+                            m, r.p_opt, r.fo4_per_stage);
+            } else {
+                std::printf("  BIPS^%.0f/W: no pipelined optimum "
+                            "(single-stage design wins)\n",
+                            m);
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+#include "branch/predictor.hh"
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+bool
+AlwaysTakenPredictor::predict(std::uint64_t)
+{
+    return true;
+}
+
+void
+AlwaysTakenPredictor::update(std::uint64_t, bool)
+{
+}
+
+namespace
+{
+
+/** Saturating 2-bit counter update. */
+void
+bump(std::uint8_t &ctr, bool taken)
+{
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+} // namespace
+
+BimodalPredictor::BimodalPredictor(int table_bits)
+{
+    PP_ASSERT(table_bits >= 4 && table_bits <= 24,
+              "unreasonable bimodal table size");
+    table_.assign(1ull << table_bits, 1); // weakly not-taken
+    mask_ = table_.size() - 1;
+}
+
+std::size_t
+BimodalPredictor::index(std::uint64_t pc) const
+{
+    return (pc >> 2) & mask_;
+}
+
+bool
+BimodalPredictor::predict(std::uint64_t pc)
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+BimodalPredictor::update(std::uint64_t pc, bool taken)
+{
+    bump(table_[index(pc)], taken);
+}
+
+GsharePredictor::GsharePredictor(int table_bits, int history_bits)
+{
+    PP_ASSERT(table_bits >= 4 && table_bits <= 24,
+              "unreasonable gshare table size");
+    PP_ASSERT(history_bits >= 1 && history_bits <= table_bits,
+              "history length must be in [1, table_bits]");
+    table_.assign(1ull << table_bits, 1);
+    mask_ = table_.size() - 1;
+    history_mask_ = (1ull << history_bits) - 1;
+}
+
+std::size_t
+GsharePredictor::index(std::uint64_t pc) const
+{
+    return ((pc >> 2) ^ history_) & mask_;
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc)
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    bump(table_[index(pc)], taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::AlwaysTaken:
+        return std::make_unique<AlwaysTakenPredictor>();
+      case PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>();
+      case PredictorKind::Gshare:
+        return std::make_unique<GsharePredictor>();
+    }
+    PP_PANIC("bad predictor kind");
+}
+
+} // namespace pipedepth

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Branch direction predictors.
+ *
+ * Branch mispredictions are the dominant pipeline hazard in the
+ * paper's model (each one drains the fetch-to-execute section of the
+ * pipeline, a penalty proportional to depth), so the simulator needs a
+ * predictor whose accuracy responds to workload structure the way real
+ * front-ends do. Three predictors are provided: always-taken (a lower
+ * bound), bimodal (per-PC 2-bit counters) and gshare (global history
+ * XOR PC), the default.
+ */
+
+#ifndef PIPEDEPTH_BRANCH_PREDICTOR_HH
+#define PIPEDEPTH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pipedepth
+{
+
+/** Interface of a branch direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(std::uint64_t pc) = 0;
+
+    /** Train with the actual outcome. */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    /** Predictor name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Lifetime statistics. */
+    std::uint64_t lookups = 0;
+    std::uint64_t mispredicts = 0;
+
+    /** Convenience: predict, compare, update, count. */
+    bool
+    predictAndTrain(std::uint64_t pc, bool taken)
+    {
+        ++lookups;
+        const bool pred = predict(pc);
+        if (pred != taken)
+            ++mispredicts;
+        update(pc, taken);
+        return pred == taken;
+    }
+
+    /** Misprediction rate over all lookups so far. */
+    double
+    mispredictRate() const
+    {
+        return lookups ? static_cast<double>(mispredicts) / lookups : 0.0;
+    }
+};
+
+/** Statically predicts every branch taken. */
+class AlwaysTakenPredictor : public BranchPredictor
+{
+  public:
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::string name() const override { return "always-taken"; }
+};
+
+/** Per-PC table of saturating 2-bit counters. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @param table_bits log2 of the counter-table size */
+    explicit BimodalPredictor(int table_bits = 12);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::string name() const override { return "bimodal"; }
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+
+    std::vector<std::uint8_t> table_;
+    std::size_t mask_;
+};
+
+/** Global-history-XOR-PC indexed 2-bit counters (McFarling gshare). */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param table_bits   log2 of the counter-table size
+     * @param history_bits global history length (<= table_bits)
+     */
+    explicit GsharePredictor(int table_bits = 13, int history_bits = 10);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::string name() const override { return "gshare"; }
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+
+    std::vector<std::uint8_t> table_;
+    std::size_t mask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t history_mask_;
+};
+
+/** Predictor kinds for configuration. */
+enum class PredictorKind
+{
+    AlwaysTaken,
+    Bimodal,
+    Gshare,
+};
+
+/** Factory. */
+std::unique_ptr<BranchPredictor> makePredictor(PredictorKind kind);
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_BRANCH_PREDICTOR_HH

@@ -1,0 +1,110 @@
+#include "cache/cache.hh"
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+void
+CacheConfig::validate() const
+{
+    if (!isPow2(size_bytes))
+        PP_FATAL("cache size must be a power of two (got ", size_bytes,
+                 ")");
+    if (!isPow2(line_bytes))
+        PP_FATAL("cache line size must be a power of two (got ",
+                 line_bytes, ")");
+    if (associativity == 0)
+        PP_FATAL("cache associativity must be positive");
+    if (size_bytes < static_cast<std::uint64_t>(line_bytes) * associativity)
+        PP_FATAL("cache smaller than one set (size ", size_bytes,
+                 ", line ", line_bytes, ", assoc ", associativity, ")");
+    const std::uint64_t sets =
+        size_bytes / line_bytes / associativity;
+    if (!isPow2(sets))
+        PP_FATAL("cache set count must be a power of two (got ", sets,
+                 ")");
+}
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    config_.validate();
+    sets_ = config_.size_bytes / config_.line_bytes /
+            config_.associativity;
+    ways_.assign(sets_ * config_.associativity, Way{});
+}
+
+std::uint64_t
+Cache::setIndex(std::uint64_t addr) const
+{
+    return (addr / config_.line_bytes) & (sets_ - 1);
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t addr) const
+{
+    return addr / config_.line_bytes / sets_;
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++accesses_;
+    ++stamp_;
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Way *base = &ways_[set * config_.associativity];
+
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lru = stamp_;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lru < victim->lru) {
+            victim = &way;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = stamp_;
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const Way *base = &ways_[set * config_.associativity];
+    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &way : ways_)
+        way.valid = false;
+}
+
+} // namespace pipedepth

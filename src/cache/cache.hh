@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Set-associative cache model with true-LRU replacement.
+ *
+ * Used for both the instruction and data caches of the pipeline
+ * model. Only hit/miss behaviour is modeled (no data), which is all a
+ * timing simulator needs; the pipeline charges the miss latency. Miss
+ * latency is a property of the pipeline configuration, not the cache,
+ * because off-chip time is constant in *absolute* time and therefore
+ * varies in cycles with the clock period.
+ */
+
+#ifndef PIPEDEPTH_CACHE_CACHE_HH
+#define PIPEDEPTH_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pipedepth
+{
+
+/** Geometry of a cache. */
+struct CacheConfig
+{
+    std::uint64_t size_bytes = 32 * 1024;
+    std::uint32_t line_bytes = 128;
+    std::uint32_t associativity = 4;
+
+    /** Abort (fatal) on non-power-of-two or inconsistent geometry. */
+    void validate() const;
+};
+
+/** A single-level, tag-only, true-LRU set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access the line containing @p addr; allocates on miss.
+     * @return true on hit
+     */
+    bool access(std::uint64_t addr);
+
+    /** True iff the line containing @p addr is resident (no update). */
+    bool probe(std::uint64_t addr) const;
+
+    /** Drop all contents (statistics are kept). */
+    void flush();
+
+    /** Lifetime statistics. */
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    double
+    missRate() const
+    {
+        return accesses_ ? static_cast<double>(misses_) / accesses_ : 0.0;
+    }
+
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::uint64_t lru = 0; //!< last-use stamp
+    };
+
+    std::uint64_t setIndex(std::uint64_t addr) const;
+    std::uint64_t tagOf(std::uint64_t addr) const;
+
+    CacheConfig config_;
+    std::vector<Way> ways_; //!< sets_ x associativity, row-major
+    std::uint64_t sets_;
+    std::uint64_t stamp_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_CACHE_CACHE_HH

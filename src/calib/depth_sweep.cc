@@ -1,0 +1,151 @@
+#include "calib/depth_sweep.hh"
+
+#include <cmath>
+
+#include "calib/extract.hh"
+#include "common/logging.hh"
+#include "core/metric.hh"
+#include "math/least_squares.hh"
+#include "uarch/simulator.hh"
+
+namespace pipedepth
+{
+
+std::vector<double>
+SweepResult::depths() const
+{
+    std::vector<double> out;
+    out.reserve(runs.size());
+    for (const auto &r : runs)
+        out.push_back(static_cast<double>(r.depth));
+    return out;
+}
+
+std::vector<double>
+SweepResult::metric(double m, bool gated) const
+{
+    std::vector<double> out;
+    out.reserve(runs.size());
+    for (const auto &r : runs)
+        out.push_back(power_model.metric(r, m, gated));
+    return out;
+}
+
+std::vector<double>
+SweepResult::bips() const
+{
+    std::vector<double> out;
+    out.reserve(runs.size());
+    for (const auto &r : runs)
+        out.push_back(r.bips());
+    return out;
+}
+
+double
+SweepResult::cubicFitOptimum(double m, bool gated, bool *interior) const
+{
+    const CubicPeak peak = fitCubicPeak(depths(), metric(m, gated));
+    if (interior)
+        *interior = peak.interior;
+    return peak.x;
+}
+
+double
+SweepResult::cubicFitPerformanceOptimum(bool *interior) const
+{
+    const CubicPeak peak = fitCubicPeak(depths(), bips());
+    if (interior)
+        *interior = peak.interior;
+    return peak.x;
+}
+
+std::vector<double>
+SweepResult::theoryCurve(double m, bool gated, double *r2,
+                         bool extended) const
+{
+    // Analytic metric with the extracted parameters; the theory's
+    // power parameters mirror the simulation power model: same p_d,
+    // same leakage fraction at the reference depth, and the per-unit
+    // latch exponent beta.
+    MachineParams mp = extracted;
+    if (!extended)
+        mp.c_mem = 0.0; // the paper's Eq. 1
+    PowerParams pw;
+    pw.p_d = options.p_d;
+    pw.beta = power_model.factors().beta_unit;
+    pw.gating = gated ? ClockGating::FineGrained : ClockGating::None;
+    pw = PowerModel::calibrateLeakage(
+        mp, pw, options.leakage_fraction,
+        static_cast<double>(options.reference_depth));
+
+    const PowerPerformanceMetric theory(mp, pw, m);
+    std::vector<double> t;
+    t.reserve(runs.size());
+    for (const auto &r : runs)
+        t.push_back(theory(static_cast<double>(r.depth)));
+
+    const std::vector<double> sim = metric(m, gated);
+    const double scale = fitScaleFactor(sim, t);
+    for (auto &v : t)
+        v *= scale;
+    if (r2)
+        *r2 = rSquared(sim, t);
+    return t;
+}
+
+std::vector<double>
+SweepResult::latchCounts() const
+{
+    std::vector<double> out;
+    out.reserve(runs.size());
+    for (const auto &r : runs)
+        out.push_back(power_model.latchCount(r.config));
+    return out;
+}
+
+SweepResult
+runDepthSweep(const WorkloadSpec &spec, const SweepOptions &options)
+{
+    PP_ASSERT(options.min_depth >= 2 && options.max_depth <= 30 &&
+                  options.min_depth < options.max_depth,
+              "bad depth range");
+    PP_ASSERT(options.reference_depth >= options.min_depth &&
+                  options.reference_depth <= options.max_depth,
+              "reference depth outside sweep range");
+
+    const Trace trace = spec.makeTrace(options.trace_length);
+
+    SweepResult out{spec, options, {},
+                    ActivityPowerModel(UnitPowerFactors::defaults(),
+                                       options.p_d, 0.0),
+                    MachineParams{}};
+    out.runs.reserve(
+        static_cast<std::size_t>(options.max_depth - options.min_depth) +
+        1);
+
+    const SimResult *reference = nullptr;
+    for (int p = options.min_depth; p <= options.max_depth; ++p) {
+        PipelineConfig config =
+            PipelineConfig::forDepth(p, options.in_order);
+        config.warmup_instructions = options.warmup_instructions;
+        out.runs.push_back(simulate(trace, config));
+        if (p == options.reference_depth)
+            reference = &out.runs.back();
+    }
+    PP_ASSERT(reference, "reference depth not simulated");
+
+    out.power_model = out.power_model.withLeakageFraction(
+        *reference, options.leakage_fraction);
+    out.extracted = extractMachineParams(*reference);
+    return out;
+}
+
+double
+measuredLatchExponent(const SweepResult &sweep)
+{
+    const PowerLawFit fit =
+        fitPowerLaw(sweep.depths(), sweep.latchCounts());
+    return fit.k;
+}
+
+} // namespace pipedepth

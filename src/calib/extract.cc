@@ -1,0 +1,51 @@
+#include "calib/extract.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+MachineParams
+extractMachineParams(const SimResult &sim)
+{
+    PP_ASSERT(sim.instructions > 0 && sim.cycles > 0,
+              "empty simulation result");
+
+    MachineParams mp;
+    mp.t_p = sim.config.t_p;
+    mp.t_o = sim.config.t_o;
+
+    const double n_i = static_cast<double>(sim.instructions);
+    const double n_h = static_cast<double>(sim.hazardEvents());
+    mp.hazard_ratio = n_h / n_i;
+
+    const double stall = static_cast<double>(sim.hazardStallCycles());
+    // alpha measures the effective superscalar degree. Depth-scaled
+    // hazard stalls and constant-time memory waits are excluded from
+    // the busy time; FP/divider serialization (fp interlocks,
+    // unit-busy waits) and refill bubbles stay in it — they are what
+    // *lowers* alpha, per the paper's account of FP workloads.
+    const double non_busy =
+        stall + static_cast<double>(sim.constantTimeStallCycles());
+    const double busy =
+        std::max(1.0, static_cast<double>(sim.cycles) - non_busy);
+    mp.alpha = std::clamp(n_i / busy, 1.0,
+                          static_cast<double>(sim.config.width));
+
+    if (n_h > 0.0) {
+        mp.gamma = stall / (n_h * static_cast<double>(sim.depth));
+        mp.gamma = std::clamp(mp.gamma, 0.01, 1.0);
+    } else {
+        mp.gamma = 0.01;
+    }
+
+    // Constant-absolute-time stall per instruction (FO4) — used by
+    // the extended model; the paper's model ignores it (c_mem = 0).
+    mp.c_mem = static_cast<double>(sim.constantTimeStallCycles()) *
+               sim.cycle_time_fo4 / n_i;
+    return mp;
+}
+
+} // namespace pipedepth

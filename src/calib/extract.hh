@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Extraction of the theory's workload parameters from simulation.
+ *
+ * The paper's procedure (Sec. 4): "we use the detailed statistics
+ * obtained from a simulator run at one particular pipeline depth for
+ * each workload to determine the parameters in Eq. 4. Two of the
+ * parameters, N_I and N_H, are simply enumerated, but alpha and gamma
+ * require more extensive analysis of the details of the pipeline and
+ * the particular distribution of instructions and hazards."
+ *
+ * Mapping used here:
+ *  - N_H / N_I: hazard events (mispredicts, interlocks, i-cache
+ *    misses) per instruction;
+ *  - gamma: mean hazard stall in cycles divided by the pipeline depth
+ *    of the reference run (the fraction of the pipe a hazard drains);
+ *  - alpha: instructions per non-stalled cycle, N_I /
+ *    (cycles - hazard stall cycles) — the effective degree of
+ *    superscalar processing while work flows;
+ *  - t_p, t_o: technology constants of the configuration.
+ */
+
+#ifndef PIPEDEPTH_CALIB_EXTRACT_HH
+#define PIPEDEPTH_CALIB_EXTRACT_HH
+
+#include "core/params.hh"
+#include "uarch/sim_result.hh"
+
+namespace pipedepth
+{
+
+/**
+ * Extract MachineParams for the analytic model from one reference
+ * simulation run, following the paper's single-run methodology.
+ */
+MachineParams extractMachineParams(const SimResult &sim);
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_CALIB_EXTRACT_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a library bug), fatal() is for user errors (bad
+ * configuration, bad input files), and warn()/inform() are advisory.
+ */
+
+#ifndef PIPEDEPTH_COMMON_LOGGING_HH
+#define PIPEDEPTH_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace pipedepth
+{
+
+/** Internal detail: assemble a message from stream-style arguments. */
+namespace logging_detail
+{
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+/** Print and abort(). Never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print and exit(1). Never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+} // namespace logging_detail
+
+/**
+ * Abort because an internal invariant was violated. Use for conditions
+ * that indicate a bug in this library, never for user error.
+ */
+#define PP_PANIC(...)                                                       \
+    ::pipedepth::logging_detail::panicImpl(                                 \
+        __FILE__, __LINE__, ::pipedepth::logging_detail::concat(__VA_ARGS__))
+
+/**
+ * Exit because the caller supplied an unusable configuration or input.
+ */
+#define PP_FATAL(...)                                                       \
+    ::pipedepth::logging_detail::fatalImpl(                                 \
+        __FILE__, __LINE__, ::pipedepth::logging_detail::concat(__VA_ARGS__))
+
+/** Panic unless a condition holds. Active in all build types. */
+#define PP_ASSERT(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::pipedepth::logging_detail::panicImpl(                         \
+                __FILE__, __LINE__,                                         \
+                ::pipedepth::logging_detail::concat(                        \
+                    "assertion failed: " #cond " ", ##__VA_ARGS__));        \
+        }                                                                   \
+    } while (0)
+
+/** Emit a non-fatal warning. */
+#define PP_WARN(...)                                                        \
+    ::pipedepth::logging_detail::warnImpl(                                  \
+        ::pipedepth::logging_detail::concat(__VA_ARGS__))
+
+/** Emit a status message. */
+#define PP_INFORM(...)                                                      \
+    ::pipedepth::logging_detail::informImpl(                                \
+        ::pipedepth::logging_detail::concat(__VA_ARGS__))
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_COMMON_LOGGING_HH

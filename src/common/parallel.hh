@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal fork/join parallelism for embarrassingly parallel sweeps.
+ *
+ * The Fig. 6/7 experiments run 55 workloads x 24 depths of
+ * cycle-accurate simulation; parallelMap spreads independent work
+ * items over hardware threads. Results keep input order, and
+ * exceptions propagate to the caller.
+ */
+
+#ifndef PIPEDEPTH_COMMON_PARALLEL_HH
+#define PIPEDEPTH_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace pipedepth
+{
+
+/**
+ * Apply @p fn to every element of @p items on up to @p threads
+ * workers; returns results in input order. fn must be safe to call
+ * concurrently on distinct items.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(const std::vector<T> &items, Fn fn, unsigned threads = 0)
+    -> std::vector<decltype(fn(items.front()))>
+{
+    using R = decltype(fn(items.front()));
+    std::vector<R> results(items.size());
+    if (items.empty())
+        return results;
+
+    if (threads == 0)
+        threads = std::thread::hardware_concurrency();
+    if (threads == 0)
+        threads = 1;
+    if (threads > items.size())
+        threads = static_cast<unsigned>(items.size());
+
+    if (threads == 1) {
+        for (std::size_t i = 0; i < items.size(); ++i)
+            results[i] = fn(items[i]);
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::atomic<bool> failed{false};
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= items.size() || failed.load())
+                return;
+            try {
+                results[i] = fn(items[i]);
+            } catch (...) {
+                if (!failed.exchange(true))
+                    error = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+
+    if (failed.load() && error)
+        std::rethrow_exception(error);
+    return results;
+}
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_COMMON_PARALLEL_HH

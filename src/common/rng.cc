@@ -1,0 +1,168 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+    // An all-zero state would be absorbing; splitmix64 of any seed
+    // cannot produce four zeros, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    PP_ASSERT(n > 0, "Rng::below requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    PP_ASSERT(lo <= hi, "Rng::range requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::size_t
+Rng::weighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        PP_ASSERT(w >= 0.0, "negative weight in Rng::weighted");
+        total += w;
+    }
+    PP_ASSERT(total > 0.0, "Rng::weighted requires a positive weight");
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0.0)
+            return i;
+    }
+    // Floating-point accumulation can leave x == 0 at the end; return
+    // the last index with positive weight.
+    for (std::size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    PP_PANIC("unreachable in Rng::weighted");
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        p = 1e-12;
+    const double u = 1.0 - uniform(); // in (0, 1]
+    const double k = std::floor(std::log(u) / std::log1p(-p));
+    if (k < 0.0)
+        return 0;
+    if (k > 1e18)
+        return static_cast<std::uint64_t>(1e18);
+    return static_cast<std::uint64_t>(k);
+}
+
+double
+Rng::gaussian()
+{
+    if (has_cached_gauss_) {
+        has_cached_gauss_ = false;
+        return cached_gauss_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_cached_gauss_ = true;
+    return r * std::cos(theta);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace pipedepth

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the library (trace synthesis, workload
+ * behaviour models) draw from this generator so that every experiment
+ * is exactly reproducible from a seed. The engine is xoshiro256**,
+ * which is fast, has a 256-bit state, and passes BigCrush.
+ */
+
+#ifndef PIPEDEPTH_COMMON_RNG_HH
+#define PIPEDEPTH_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pipedepth
+{
+
+/**
+ * A deterministic, seedable random number generator (xoshiro256**).
+ *
+ * Distribution helpers (uniform, geometric-ish discrete, weighted
+ * choice, bernoulli) cover everything trace synthesis needs without
+ * pulling in the slower std::distributions, whose results are also not
+ * guaranteed identical across standard library implementations.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** True with probability p (clamped to [0, 1]). */
+    bool bernoulli(double p);
+
+    /**
+     * Sample an index from a discrete distribution given by
+     * non-negative weights. Requires at least one positive weight.
+     *
+     * @param weights relative (unnormalized) weights
+     * @return index in [0, weights.size())
+     */
+    std::size_t weighted(const std::vector<double> &weights);
+
+    /**
+     * Geometric sample: number of failures before the first success of
+     * a bernoulli(p) process; p is clamped to (0, 1].
+     */
+    std::uint64_t geometric(double p);
+
+    /** Standard normal via Box-Muller (deterministic pairing). */
+    double gaussian();
+
+    /** Fork a statistically independent child stream. */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    double cached_gauss_ = 0.0;
+    bool has_cached_gauss_ = false;
+};
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_COMMON_RNG_HH

@@ -1,0 +1,127 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+TableWriter::TableWriter(Style style) : style_(style)
+{
+}
+
+void
+TableWriter::addColumn(const std::string &header, int precision)
+{
+    PP_ASSERT(rows_.empty(), "columns must be defined before rows");
+    headers_.push_back(header);
+    precisions_.push_back(precision);
+}
+
+void
+TableWriter::beginRow()
+{
+    if (!rows_.empty()) {
+        PP_ASSERT(rows_.back().size() == headers_.size(),
+                  "previous row incomplete: ", rows_.back().size(), " of ",
+                  headers_.size(), " cells");
+    }
+    rows_.emplace_back();
+}
+
+void
+TableWriter::cell(const std::string &value)
+{
+    PP_ASSERT(!rows_.empty(), "cell() before beginRow()");
+    PP_ASSERT(rows_.back().size() < headers_.size(), "row overflow");
+    rows_.back().push_back(value);
+}
+
+void
+TableWriter::cell(const char *value)
+{
+    cell(std::string(value));
+}
+
+std::string
+TableWriter::formatNumber(double value) const
+{
+    PP_ASSERT(!rows_.empty(), "cell() before beginRow()");
+    const std::size_t col = rows_.back().size();
+    PP_ASSERT(col < precisions_.size(), "row overflow");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precisions_[col], value);
+    return buf;
+}
+
+void
+TableWriter::cell(double value)
+{
+    cell(formatNumber(value));
+}
+
+void
+TableWriter::cell(int value)
+{
+    cell(std::to_string(value));
+}
+
+void
+TableWriter::cell(long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+TableWriter::cell(unsigned long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+TableWriter::render(std::ostream &os) const
+{
+    if (style_ == Style::Csv) {
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            os << (c ? "," : "") << headers_[c];
+        os << '\n';
+        for (const auto &row : rows_) {
+            for (std::size_t c = 0; c < row.size(); ++c)
+                os << (c ? "," : "") << row[c];
+            os << '\n';
+        }
+        return;
+    }
+
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            os << (c ? "  " : "");
+            os << std::string(width[c] > v.size() ? width[c] - v.size() : 0,
+                              ' ')
+               << v;
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace pipedepth

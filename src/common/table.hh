@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Plain-text table and CSV emission.
+ *
+ * Every bench binary reproduces a paper figure as rows/series on
+ * stdout; TableWriter renders them either as an aligned human-readable
+ * table or as CSV (for plotting), selected at construction.
+ */
+
+#ifndef PIPEDEPTH_COMMON_TABLE_HH
+#define PIPEDEPTH_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pipedepth
+{
+
+/**
+ * Accumulates rows of string/number cells and renders them aligned or
+ * as CSV. Numeric cells are formatted with a fixed precision chosen
+ * per column via addColumn().
+ */
+class TableWriter
+{
+  public:
+    /** Output style. */
+    enum class Style { Aligned, Csv };
+
+    explicit TableWriter(Style style = Style::Aligned);
+
+    /**
+     * Define a column.
+     * @param header column title
+     * @param precision digits after the decimal point for numeric cells
+     */
+    void addColumn(const std::string &header, int precision = 4);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    void beginRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &value);
+    void cell(const char *value);
+
+    /** Append a numeric cell, formatted per the column precision. */
+    void cell(double value);
+    void cell(int value);
+    void cell(long value);
+    void cell(unsigned long value);
+
+    /** Render the whole table to a stream. */
+    void render(std::ostream &os) const;
+
+    /** Number of completed + in-progress rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string formatNumber(double value) const;
+
+    Style style_;
+    std::vector<std::string> headers_;
+    std::vector<int> precisions_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_COMMON_TABLE_HH

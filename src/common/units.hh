@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Technology-unit helpers.
+ *
+ * All circuit timing in this library is expressed in FO4 (fan-out-of-4
+ * inverter) delays, as in the paper, so results are
+ * technology-independent. These helpers convert between per-stage FO4
+ * budgets, pipeline depths and (given an absolute FO4 delay in
+ * picoseconds) real frequencies.
+ */
+
+#ifndef PIPEDEPTH_COMMON_UNITS_HH
+#define PIPEDEPTH_COMMON_UNITS_HH
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+/**
+ * Cycle time (in FO4) for a design with @p stages pipeline stages,
+ * total logic depth @p t_p and per-stage latch overhead @p t_o.
+ */
+inline double
+cycleTimeFo4(double stages, double t_p, double t_o)
+{
+    PP_ASSERT(stages > 0.0, "pipeline depth must be positive");
+    return t_o + t_p / stages;
+}
+
+/**
+ * Frequency in cycles per FO4-unit time: f_s = 1 / t_s (paper Sec. 2).
+ */
+inline double
+frequencyPerFo4(double stages, double t_p, double t_o)
+{
+    return 1.0 / cycleTimeFo4(stages, t_p, t_o);
+}
+
+/**
+ * Pipeline depth that yields a given per-stage cycle time (FO4).
+ * Inverse of cycleTimeFo4; the paper quotes design points both ways
+ * (e.g. "7 stages, a 22.5 FO4 design point").
+ */
+inline double
+stagesForCycleTime(double fo4_per_stage, double t_p, double t_o)
+{
+    PP_ASSERT(fo4_per_stage > t_o,
+              "cycle time must exceed latch overhead t_o");
+    return t_p / (fo4_per_stage - t_o);
+}
+
+/** Convert a frequency expressed per-FO4 into GHz given FO4 in ps. */
+inline double
+frequencyGhz(double per_fo4, double fo4_ps)
+{
+    PP_ASSERT(fo4_ps > 0.0, "FO4 delay must be positive");
+    return per_fo4 * 1000.0 / fo4_ps;
+}
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_COMMON_UNITS_HH

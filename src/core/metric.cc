@@ -1,0 +1,34 @@
+#include "core/metric.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+PowerPerformanceMetric::PowerPerformanceMetric(const MachineParams &machine,
+                                               const PowerParams &power,
+                                               double m)
+    : perf_(machine), power_(machine, power), m_(m)
+{
+    if (m <= 0.0)
+        PP_FATAL("metric exponent m must be positive (got ", m, ")");
+}
+
+double
+PowerPerformanceMetric::logValue(double p) const
+{
+    const double tau = perf_.timePerInstruction(p);
+    const double pt = power_.totalPower(p);
+    PP_ASSERT(tau > 0.0 && pt > 0.0, "model produced non-positive values");
+    return -(m_ * std::log(tau) + std::log(pt));
+}
+
+double
+PowerPerformanceMetric::operator()(double p) const
+{
+    return std::exp(logValue(p));
+}
+
+} // namespace pipedepth

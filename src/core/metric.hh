@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The generalized power/performance metric BIPS^m / W (paper Eq. 4).
+ */
+
+#ifndef PIPEDEPTH_CORE_METRIC_HH
+#define PIPEDEPTH_CORE_METRIC_HH
+
+#include "core/params.hh"
+#include "core/performance_model.hh"
+#include "core/power_model.hh"
+
+namespace pipedepth
+{
+
+/**
+ * Metric(p) = ((T/N_I)^m * P_T)^-1 = BIPS^m / W, within a scale
+ * factor (Eq. 4). m = 1, 2, 3 give BIPS/W, BIPS^2/W, BIPS^3/W; the
+ * m -> infinity limit is performance-only optimization (BIPS).
+ */
+class PowerPerformanceMetric
+{
+  public:
+    /**
+     * @param machine workload/technology parameters
+     * @param power   power parameters (including gating mode)
+     * @param m       metric exponent (must be > 0)
+     */
+    PowerPerformanceMetric(const MachineParams &machine,
+                           const PowerParams &power, double m);
+
+    /** Metric value at depth p (arbitrary consistent units). */
+    double operator()(double p) const;
+
+    /** log(Metric) at depth p; avoids overflow for large m. */
+    double logValue(double p) const;
+
+    /** The metric exponent m. */
+    double exponent() const { return m_; }
+
+    const PerformanceModel &perf() const { return perf_; }
+    const PowerModel &power() const { return power_; }
+
+  private:
+    PerformanceModel perf_;
+    PowerModel power_;
+    double m_;
+};
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_CORE_METRIC_HH

@@ -1,0 +1,237 @@
+#include "core/optimum_solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "math/optimize.hh"
+#include "math/roots.hh"
+
+namespace pipedepth
+{
+
+OptimumSolver::OptimumSolver(const MachineParams &machine,
+                             const PowerParams &power)
+    : machine_(machine), power_(power)
+{
+    machine_.validate();
+    power_.validate();
+}
+
+Poly
+OptimumSolver::ungatedCubic(double m) const
+{
+    // The paper's model (c_mem = 0): tau factors as s*u/(alpha p) and
+    // the condition reduces to a cubic (see the header derivation).
+    const double a = machine_.alpha * machine_.gamma *
+                     machine_.hazard_ratio;
+    const double t_p = machine_.t_p;
+    const double t_o = machine_.t_o;
+    const double pd = power_.f_cg * power_.p_d;
+    const double c = pd + power_.p_l * t_o;
+    const double d = power_.p_l * t_p;
+
+    const Poly s{t_p, t_o};
+    const Poly u{1.0, a};
+    const Poly q{d, c};
+    const Poly w{-t_p, 0.0, a * t_o}; // a t_o p^2 - t_p
+    const Poly p1{0.0, 1.0};
+
+    return m * (q * w) + s * u * (power_.beta * q + c * p1) -
+           t_o * (p1 * u * q);
+}
+
+Poly
+OptimumSolver::numeratorN() const
+{
+    // alpha * p * tau(p): quadratic. With c_mem = 0 this is s*u; the
+    // constant-time extension adds alpha*c_mem*p to the linear term,
+    // which leaves N'p - N = a t_o p^2 - t_p unchanged.
+    const double a = machine_.alpha * machine_.gamma *
+                     machine_.hazard_ratio;
+    const Poly s{machine_.t_p, machine_.t_o};
+    const Poly u{1.0, a};
+    return s * u + Poly{0.0, machine_.alpha * machine_.c_mem};
+}
+
+Poly
+OptimumSolver::ungatedQuartic(double m) const
+{
+    // General (c_mem >= 0) non-gated condition:
+    //   m w Q s + beta N Q s + c p N s - t_o p N Q = 0,
+    // which factors as (t_o p + t_p) * ungatedCubic when c_mem = 0.
+    const double a = machine_.alpha * machine_.gamma *
+                     machine_.hazard_ratio;
+    const double t_p = machine_.t_p;
+    const double t_o = machine_.t_o;
+    const double pd = power_.f_cg * power_.p_d;
+    const double c = pd + power_.p_l * t_o;
+    const double d = power_.p_l * t_p;
+
+    const Poly s{t_p, t_o};
+    const Poly q{d, c};
+    const Poly w{-t_p, 0.0, a * t_o};
+    const Poly p1{0.0, 1.0};
+    const Poly n = numeratorN();
+
+    return m * (w * q * s) + power_.beta * (n * q * s) +
+           c * (p1 * n * s) - t_o * (p1 * n * q);
+}
+
+Poly
+OptimumSolver::gatedQuartic(double m) const
+{
+    const double a = machine_.alpha * machine_.gamma *
+                     machine_.hazard_ratio;
+    const double t_p = machine_.t_p;
+    const double t_o = machine_.t_o;
+
+    const Poly w{-t_p, 0.0, a * t_o}; // a t_o p^2 - t_p = N'p - N
+    const Poly p1{0.0, 1.0};
+    const Poly n = numeratorN();
+    const Poly r = machine_.alpha * power_.p_d * p1 + power_.p_l * n;
+
+    return power_.beta * (n * r) + (m - 1.0) * (w * r) +
+           power_.p_l * (w * n);
+}
+
+Poly
+OptimumSolver::optimalityPolynomial(double m) const
+{
+    switch (power_.gating) {
+      case ClockGating::None:
+        return ungatedQuartic(m);
+      case ClockGating::FineGrained:
+        return gatedQuartic(m);
+    }
+    PP_PANIC("unknown gating mode");
+}
+
+Poly
+OptimumSolver::paperQuartic(double m) const
+{
+    // The paper's Eq. 5 (its model has no constant-time term).
+    return ungatedCubic(m) * Poly{machine_.t_p, machine_.t_o};
+}
+
+std::optional<double>
+OptimumSolver::paperQuadraticRoot(double m) const
+{
+    // The paper obtains Eq. 7 by factoring the approximate root Eq. 6b
+    // (p ~ -d/c = -t_p P_l / (P_d' + t_o P_l)) out of the quartic,
+    // after the exact factor Eq. 6a. Equivalently: deflate our exact
+    // cubic E(p) at -d/c and keep the quadratic quotient, discarding
+    // the (small) remainder. In the leakage-free limit the deflation
+    // is exact and the quotient reduces to
+    //   a t_o (m + beta) p^2 + [beta t_o + (beta+1) a t_p] p
+    //     - (m - beta - 1) t_p = 0,   a = alpha gamma N_H/N_I,
+    // which matches the structure of the paper's printed Eq. 8 (the
+    // OCR of the paper drops the fraction bars around alpha; the
+    // printed coefficients are recovered after dividing through by
+    // alpha).
+    const double pd = power_.f_cg * power_.p_d;
+    const double c = pd + power_.p_l * machine_.t_o;
+    const double d = power_.p_l * machine_.t_p;
+
+    const Poly cubic = ungatedCubic(m);
+    if (cubic.degree() < 3)
+        return std::nullopt;
+    const Poly quad = cubic.deflate(-d / c);
+
+    const double b2 = quad.coeff(2);
+    const double b1 = quad.coeff(1);
+    const double b0 = quad.coeff(0);
+
+    const double disc = b1 * b1 - 4.0 * b2 * b0;
+    if (disc < 0.0)
+        return std::nullopt;
+    if (b2 == 0.0) {
+        if (b1 == 0.0)
+            return std::nullopt;
+        const double root = -b0 / b1;
+        return root > 0.0 ? std::optional<double>(root) : std::nullopt;
+    }
+    const double sq = std::sqrt(disc);
+    const double r1 = (-b1 + sq) / (2.0 * b2);
+    const double r2 = (-b1 - sq) / (2.0 * b2);
+    // A physically meaningful optimum has exactly one positive root
+    // (paper Sec. 2); if both are positive (degenerate parameters),
+    // prefer the one where the metric is locally maximal.
+    if (r1 > 0.0 && r2 > 0.0) {
+        const PowerPerformanceMetric metric(machine_, power_, m);
+        return metric.logValue(r1) >= metric.logValue(r2) ? r1 : r2;
+    }
+    if (r1 > 0.0)
+        return r1;
+    if (r2 > 0.0)
+        return r2;
+    return std::nullopt;
+}
+
+double
+OptimumSolver::spuriousRootA() const
+{
+    return -machine_.t_p / machine_.t_o;
+}
+
+double
+OptimumSolver::spuriousRootB() const
+{
+    return -machine_.t_p * power_.p_l /
+           (power_.p_d + machine_.t_o * power_.p_l);
+}
+
+OptimumResult
+OptimumSolver::solveExact(double m) const
+{
+    const PowerPerformanceMetric metric(machine_, power_, m);
+    const Poly cond = optimalityPolynomial(m);
+
+    OptimumResult out;
+    out.p_opt = 1.0;
+    out.interior = false;
+
+    double best_log = metric.logValue(1.0);
+    if (cond.degree() >= 1) {
+        for (double r : realRoots(cond)) {
+            if (r <= 1.0)
+                continue;
+            // Screen for a genuine local maximum of the metric.
+            const double eps = std::max(1e-6, r * 1e-6);
+            const double here = metric.logValue(r);
+            if (metric.logValue(r - eps) > here ||
+                metric.logValue(r + eps) > here) {
+                continue;
+            }
+            if (here > best_log) {
+                best_log = here;
+                out.p_opt = r;
+                out.interior = true;
+            }
+        }
+    }
+    out.metric = metric(out.p_opt);
+    out.fo4_per_stage = machine_.t_o + machine_.t_p / out.p_opt;
+    return out;
+}
+
+OptimumResult
+OptimumSolver::solveNumeric(double m, double p_max) const
+{
+    PP_ASSERT(p_max > 1.0, "p_max must exceed 1");
+    const PowerPerformanceMetric metric(machine_, power_, m);
+    auto f = [&metric](double p) { return metric.logValue(p); };
+    const ScalarMax sm = maximizeScan(f, 1.0, p_max, 800);
+
+    OptimumResult out;
+    out.p_opt = sm.interior ? sm.x : (metric.logValue(1.0) >=
+                                      metric.logValue(p_max)
+                                          ? 1.0
+                                          : p_max);
+    out.interior = sm.interior;
+    out.metric = metric(out.p_opt);
+    out.fo4_per_stage = machine_.t_o + machine_.t_p / out.p_opt;
+    return out;
+}
+
+} // namespace pipedepth

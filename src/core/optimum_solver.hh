@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Solvers for the optimum power/performance pipeline depth.
+ *
+ * The paper forms d(Metric)/dp = 0 and obtains a quartic (Eq. 5) whose
+ * single positive root is the optimum. We re-derive the condition
+ * symbolically. Write
+ *
+ *   G = gamma * N_H/N_I,   a = alpha * G,
+ *   s(p) = t_o p + t_p     (p times the cycle time),
+ *   u(p) = 1 + a p,
+ *
+ * so Eq. 1 factors as tau(p) = T/N_I = s u / (alpha p). For the
+ * non-gated power model, P_T ~ p^beta (P_d' p + P_l s)/s with
+ * P_d' = f_cg P_d; setting d/dp log(tau^m P_T) = 0 and clearing
+ * denominators gives the exact *cubic*
+ *
+ *   E(p) = m Q (a t_o p^2 - t_p) + s u (beta Q + c p) - t_o p u Q = 0,
+ *   where c = P_d' + P_l t_o,  d = P_l t_p,  Q(p) = c p + d.
+ *
+ * The paper's quartic Eq. 5 is exactly E(p) * s(p): the extra factor
+ * contributes the spurious root p = -t_p/t_o (the paper's Eq. 6a,
+ * which they later factor back out), and Q ~ 0 gives the paper's
+ * approximate root Eq. 6b, p ~ -d/c = -t_p P_l / (P_d + t_o P_l).
+ *
+ * For fine-grained clock gating (f_cg f_s -> 1/tau) the same procedure
+ * gives the exact quartic
+ *
+ *   E_cg(p) = beta s u R + (m-1)(a t_o p^2 - t_p) R
+ *             + P_l (a t_o p^2 - t_p) s u = 0,
+ *   where R(p) = alpha P_d p + P_l s u.
+ *
+ * Both are built with Poly arithmetic from the factor polynomials, so
+ * there are no hand-expanded coefficients to get wrong; tests verify
+ * the roots against direct numerical optimization of the metric and
+ * against the paper's approximate quadratic (Eq. 7).
+ */
+
+#ifndef PIPEDEPTH_CORE_OPTIMUM_SOLVER_HH
+#define PIPEDEPTH_CORE_OPTIMUM_SOLVER_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/metric.hh"
+#include "core/params.hh"
+#include "math/poly.hh"
+
+namespace pipedepth
+{
+
+/** Outcome of an optimum-depth computation. */
+struct OptimumResult
+{
+    /** Optimal depth clamped to >= 1 (1 means "do not pipeline"). */
+    double p_opt = 1.0;
+    /** True iff a genuine pipelined optimum (> 1 stage) exists. */
+    bool interior = false;
+    /** Metric value at p_opt. */
+    double metric = 0.0;
+    /** Cycle time at p_opt in FO4 (the paper's "design point"). */
+    double fo4_per_stage = 0.0;
+};
+
+/**
+ * Computes the optimum pipeline depth for a metric BIPS^m/W by three
+ * routes: the exact polynomial condition, direct numeric optimization,
+ * and the paper's approximate quadratic.
+ */
+class OptimumSolver
+{
+  public:
+    OptimumSolver(const MachineParams &machine, const PowerParams &power);
+
+    /**
+     * Exact polynomial optimality condition for the configured gating
+     * mode (see file comment). With the constant-time extension
+     * (MachineParams::c_mem > 0) both gating modes give quartics in
+     * N(p) = s u + alpha c_mem p; with c_mem = 0 the non-gated
+     * quartic factors as (t_o p + t_p) times the paper's cubic.
+     */
+    Poly optimalityPolynomial(double m) const;
+
+    /**
+     * The paper's Eq. 5 quartic: E(p) * (t_o p + t_p), in the
+     * non-gated formulation regardless of the configured mode. Used to
+     * reproduce Fig. 1 (four real zero crossings, one positive).
+     */
+    Poly paperQuartic(double m) const;
+
+    /**
+     * The paper's approximate quadratic Eq. 7/8: the quartic with the
+     * factor roots Eq. 6a (exact) and Eq. 6b (approximate) divided
+     * out. We construct it by deflating the exact cubic at the Eq. 6b
+     * root, which reduces to the paper's printed coefficients in the
+     * low-leakage limit (see the .cc for the correspondence and a note
+     * on an OCR ambiguity in the paper's alpha placement). Returns the
+     * positive root, or nullopt when none exists (no pipelined
+     * optimum).
+     */
+    std::optional<double> paperQuadraticRoot(double m) const;
+
+    /**
+     * Optimum via the exact polynomial: positive roots are screened
+     * for being local maxima of the metric and the best is returned.
+     * Roots at or below depth 1 mean the unpipelined design wins.
+     */
+    OptimumResult solveExact(double m) const;
+
+    /**
+     * Optimum via direct numeric maximization of the metric over
+     * [1, p_max]. Independent of the polynomial derivation; tests
+     * require agreement with solveExact.
+     */
+    OptimumResult solveNumeric(double m, double p_max = 64.0) const;
+
+    /**
+     * Eq. 6a: the exact negative factor root -t_p/t_o of the paper's
+     * quartic.
+     */
+    double spuriousRootA() const;
+
+    /**
+     * Eq. 6b: the approximate negative root
+     * -t_p P_l / (P_d + t_o P_l).
+     */
+    double spuriousRootB() const;
+
+    /**
+     * Necessary existence condition from A_0 < 0: m > beta. (When
+     * leakage is negligible the binding condition tightens to
+     * m > 2 beta, from the A_3 coefficient; with fine-grained gating
+     * and no leakage it is m > beta + 1.)
+     */
+    static bool necessaryCondition(double m, double beta)
+    {
+        return m > beta;
+    }
+
+    const MachineParams &machine() const { return machine_; }
+    const PowerParams &power() const { return power_; }
+
+  private:
+    /** Build the paper-model (c_mem = 0) non-gated cubic E(p). */
+    Poly ungatedCubic(double m) const;
+
+    /** Build the general non-gated quartic (handles c_mem). */
+    Poly ungatedQuartic(double m) const;
+
+    /** Build the gated exact quartic E_cg(p) (handles c_mem). */
+    Poly gatedQuartic(double m) const;
+
+    /** N(p) = alpha p tau(p): quadratic numerator of tau. */
+    Poly numeratorN() const;
+
+    MachineParams machine_;
+    PowerParams power_;
+};
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_CORE_OPTIMUM_SOLVER_HH

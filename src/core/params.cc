@@ -1,0 +1,54 @@
+#include "core/params.hh"
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+void
+MachineParams::validate() const
+{
+    if (alpha < 1.0)
+        PP_FATAL("alpha must be >= 1 (got ", alpha, ")");
+    if (gamma <= 0.0 || gamma > 1.0)
+        PP_FATAL("gamma must be in (0, 1] (got ", gamma, ")");
+    if (hazard_ratio < 0.0)
+        PP_FATAL("hazard_ratio must be >= 0 (got ", hazard_ratio, ")");
+    if (t_p <= 0.0)
+        PP_FATAL("t_p must be positive (got ", t_p, ")");
+    if (t_o <= 0.0)
+        PP_FATAL("t_o must be positive (got ", t_o, ")");
+    if (c_mem < 0.0)
+        PP_FATAL("c_mem must be >= 0 (got ", c_mem, ")");
+}
+
+void
+PowerParams::validate() const
+{
+    if (p_d < 0.0)
+        PP_FATAL("p_d must be >= 0 (got ", p_d, ")");
+    if (p_l < 0.0)
+        PP_FATAL("p_l must be >= 0 (got ", p_l, ")");
+    if (p_d == 0.0 && p_l == 0.0)
+        PP_FATAL("p_d and p_l cannot both be zero");
+    if (n_l <= 0.0)
+        PP_FATAL("n_l must be positive (got ", n_l, ")");
+    if (beta <= 0.0)
+        PP_FATAL("beta must be positive (got ", beta, ")");
+    if (f_cg <= 0.0 || f_cg > 1.0)
+        PP_FATAL("f_cg must be in (0, 1] (got ", f_cg, ")");
+}
+
+std::string
+toString(ClockGating gating)
+{
+    switch (gating) {
+      case ClockGating::None:
+        return "non-clock-gated";
+      case ClockGating::FineGrained:
+        return "clock-gated";
+    }
+    return "unknown";
+}
+
+} // namespace pipedepth

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Parameter records for the analytic power/performance model.
+ *
+ * Notation (restored from the paper's OCR-mangled Greek):
+ *   alpha  — average degree of superscalar processing (paper's "1")
+ *   gamma  — weighted average fraction of the pipeline that a hazard
+ *            stalls (paper's "2")
+ *   beta   — latch-count growth exponent, latches ~ N_L * p^beta
+ *            (paper's "3")
+ *   m      — metric exponent in BIPS^m / W
+ */
+
+#ifndef PIPEDEPTH_CORE_PARAMS_HH
+#define PIPEDEPTH_CORE_PARAMS_HH
+
+#include <string>
+
+namespace pipedepth
+{
+
+/**
+ * Workload + technology parameters of the Hartstein-Puzak performance
+ * model (Eq. 1). Times are in FO4 delays.
+ */
+struct MachineParams
+{
+    double alpha = 2.0;       //!< superscalar processing degree
+    double gamma = 0.45;      //!< hazard stall fraction of the pipeline
+    double hazard_ratio = 0.12; //!< N_H / N_I, hazards per instruction
+    double t_p = 140.0;       //!< total logic depth of the design, FO4
+    double t_o = 2.5;         //!< per-stage latch/clock overhead, FO4
+
+    /**
+     * EXTENSION beyond the paper's Eq. 1: constant-absolute-time
+     * stall per instruction (FO4), modeling off-chip memory waits,
+     * whose duration does not depend on the pipeline depth. The
+     * paper's model is recovered with c_mem = 0 (the default); the
+     * exact optimality conditions of OptimumSolver handle either
+     * case (see optimum_solver.hh).
+     */
+    double c_mem = 0.0;
+
+    /** Validate ranges; aborts (fatal) on nonsense values. */
+    void validate() const;
+};
+
+/** Clock gating mode of the power model (Eq. 3 and Sec. 2). */
+enum class ClockGating
+{
+    /** No gating: every latch switches every cycle (f_cg = 1). */
+    None,
+    /**
+     * Fine-grained gating: latches switch only with work, so the
+     * effective switching rate follows instruction throughput; the
+     * paper's substitution f_cg * f_s -> (T/N_I)^-1.
+     */
+    FineGrained,
+};
+
+/**
+ * Power parameters of the Srinivasan-style latch power model (Eq. 3).
+ * P_d is the dynamic energy per latch per switching event (units:
+ * W * FO4-time); P_l is the standing leakage power per latch (W). The
+ * two deliberately have different units, as in the paper, because P_d
+ * is always multiplied by a rate.
+ */
+struct PowerParams
+{
+    double p_d = 1.0;         //!< dynamic energy / latch / switch
+    double p_l = 0.05;        //!< leakage power / latch
+    double n_l = 1000.0;      //!< latches per stage at p = 1
+    double beta = 1.3;        //!< latch growth exponent
+    ClockGating gating = ClockGating::FineGrained;
+    double f_cg = 1.0;        //!< constant gating factor when not fine-grained
+
+    /** Validate ranges; aborts (fatal) on nonsense values. */
+    void validate() const;
+};
+
+/** Convenient names for the metric family BIPS^m/W studied here. */
+struct MetricExponent
+{
+    static constexpr double bips_per_watt = 1.0;   //!< BIPS/W
+    static constexpr double bips2_per_watt = 2.0;  //!< BIPS^2/W
+    static constexpr double bips3_per_watt = 3.0;  //!< BIPS^3/W (ED^2-like)
+};
+
+/** Render a gating mode for reports. */
+std::string toString(ClockGating gating);
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_CORE_PARAMS_HH

@@ -1,0 +1,64 @@
+#include "core/performance_model.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+PerformanceModel::PerformanceModel(const MachineParams &params)
+    : params_(params)
+{
+    params_.validate();
+}
+
+double
+PerformanceModel::cycleTime(double p) const
+{
+    PP_ASSERT(p > 0.0, "depth must be positive");
+    return params_.t_o + params_.t_p / p;
+}
+
+double
+PerformanceModel::timePerInstruction(double p) const
+{
+    PP_ASSERT(p > 0.0, "depth must be positive");
+    const double busy = (params_.t_o + params_.t_p / p) / params_.alpha;
+    const double hazard = params_.gamma * params_.hazard_ratio *
+                          (params_.t_o * p + params_.t_p);
+    return busy + hazard + params_.c_mem;
+}
+
+double
+PerformanceModel::throughput(double p) const
+{
+    return 1.0 / timePerInstruction(p);
+}
+
+double
+PerformanceModel::timeDerivative(double p) const
+{
+    PP_ASSERT(p > 0.0, "depth must be positive");
+    return -params_.t_p / (params_.alpha * p * p) +
+           params_.gamma * params_.hazard_ratio * params_.t_o;
+}
+
+double
+PerformanceModel::cpi(double p) const
+{
+    return timePerInstruction(p) / cycleTime(p);
+}
+
+double
+PerformanceModel::performanceOnlyOptimum() const
+{
+    const double denom = params_.alpha * params_.gamma *
+                         params_.hazard_ratio * params_.t_o;
+    if (denom <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return std::sqrt(params_.t_p / denom);
+}
+
+} // namespace pipedepth

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The Hartstein-Puzak pipeline performance model (paper Eq. 1 and 2).
+ */
+
+#ifndef PIPEDEPTH_CORE_PERFORMANCE_MODEL_HH
+#define PIPEDEPTH_CORE_PERFORMANCE_MODEL_HH
+
+#include "core/params.hh"
+
+namespace pipedepth
+{
+
+/**
+ * Analytic performance of a p-stage pipeline for a workload described
+ * by MachineParams.
+ *
+ * Eq. 1:  T/N_I = (1/alpha)(t_o + t_p/p)
+ *                 + gamma * (N_H/N_I) * (t_o * p + t_p)  [+ c_mem]
+ *
+ * The first term is the busy (steady-flow) time per instruction; the
+ * second is the hazard penalty, which grows with depth because each
+ * hazard drains a pipeline whose fill time is p * t_s = t_o*p + t_p.
+ * The optional c_mem term (an extension; 0 in the paper's model) adds
+ * a depth-independent absolute-time stall per instruction for
+ * off-chip memory waits.
+ */
+class PerformanceModel
+{
+  public:
+    explicit PerformanceModel(const MachineParams &params);
+
+    /** Time per instruction (FO4 units) at depth p (Eq. 1). */
+    double timePerInstruction(double p) const;
+
+    /**
+     * Instruction throughput 1 / (T/N_I) in instructions per FO4-time.
+     * Proportional to BIPS; the paper treats the scale factor as
+     * absorbed into the metric normalization.
+     */
+    double throughput(double p) const;
+
+    /** d(T/N_I)/dp, used by optimality conditions and tests. */
+    double timeDerivative(double p) const;
+
+    /** Cycle time t_s = t_o + t_p/p (FO4). */
+    double cycleTime(double p) const;
+
+    /** Cycles per instruction implied by the model at depth p. */
+    double cpi(double p) const;
+
+    /**
+     * Performance-only optimum depth (Eq. 2):
+     * p_opt = sqrt(N_I * t_p / (alpha * gamma * N_H * t_o)).
+     * Infinite when hazard_ratio == 0 (deeper is always better).
+     */
+    double performanceOnlyOptimum() const;
+
+    const MachineParams &params() const { return params_; }
+
+  private:
+    MachineParams params_;
+};
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_CORE_PERFORMANCE_MODEL_HH

@@ -1,0 +1,83 @@
+#include "core/power_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+PowerModel::PowerModel(const MachineParams &machine,
+                       const PowerParams &power)
+    : perf_(machine), power_(power)
+{
+    power_.validate();
+}
+
+double
+PowerModel::latchCount(double p) const
+{
+    PP_ASSERT(p > 0.0, "depth must be positive");
+    return power_.n_l * std::pow(p, power_.beta);
+}
+
+double
+PowerModel::switchingRate(double p) const
+{
+    switch (power_.gating) {
+      case ClockGating::None:
+        // f_cg * f_s with a constant gating factor.
+        return power_.f_cg / perf_.cycleTime(p);
+      case ClockGating::FineGrained:
+        // Latches switch with work: rate follows throughput,
+        // f_cg * f_s -> (T/N_I)^-1.
+        return perf_.throughput(p);
+    }
+    PP_PANIC("unknown gating mode");
+}
+
+double
+PowerModel::dynamicPower(double p) const
+{
+    return power_.p_d * switchingRate(p) * latchCount(p);
+}
+
+double
+PowerModel::leakagePower(double p) const
+{
+    return power_.p_l * latchCount(p);
+}
+
+double
+PowerModel::totalPower(double p) const
+{
+    return dynamicPower(p) + leakagePower(p);
+}
+
+double
+PowerModel::leakageFraction(double p) const
+{
+    const double total = totalPower(p);
+    PP_ASSERT(total > 0.0, "zero total power");
+    return leakagePower(p) / total;
+}
+
+PowerParams
+PowerModel::calibrateLeakage(const MachineParams &machine,
+                             PowerParams power, double fraction,
+                             double p_ref)
+{
+    if (fraction < 0.0 || fraction >= 1.0)
+        PP_FATAL("leakage fraction must be in [0, 1) (got ", fraction, ")");
+    PP_ASSERT(p_ref > 0.0, "reference depth must be positive");
+
+    // Per-latch dynamic power at the reference point; P_l follows from
+    // P_l / (dyn + P_l) = fraction.
+    power.p_l = 0.0;
+    const PowerModel base(machine, power);
+    const double dyn_per_latch = power.p_d * base.switchingRate(p_ref);
+    power.p_l = fraction / (1.0 - fraction) * dyn_per_latch;
+    return power;
+}
+
+} // namespace pipedepth

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The latch-dominated processor power model (paper Eq. 3, after
+ * Srinivasan et al., MICRO 2002).
+ */
+
+#ifndef PIPEDEPTH_CORE_POWER_MODEL_HH
+#define PIPEDEPTH_CORE_POWER_MODEL_HH
+
+#include "core/params.hh"
+#include "core/performance_model.hh"
+
+namespace pipedepth
+{
+
+/**
+ * Total processor power as a function of pipeline depth.
+ *
+ * Eq. 3:  P_T = (f_cg * f_s * P_d + P_l) * N_L * p^beta
+ *
+ * with f_s = 1/(t_o + t_p/p). Under fine-grained clock gating the
+ * effective switching rate follows instruction throughput rather than
+ * clock frequency (the paper's substitution f_cg * f_s -> (T/N_I)^-1),
+ * so this model needs the performance model for the gated case.
+ */
+class PowerModel
+{
+  public:
+    PowerModel(const MachineParams &machine, const PowerParams &power);
+
+    /** Total power at depth p (Eq. 3), honoring the gating mode. */
+    double totalPower(double p) const;
+
+    /** Dynamic component of totalPower(p). */
+    double dynamicPower(double p) const;
+
+    /** Leakage component of totalPower(p). */
+    double leakagePower(double p) const;
+
+    /** Fraction of total power that is leakage at depth p. */
+    double leakageFraction(double p) const;
+
+    /** Latch count N_L * p^beta at depth p. */
+    double latchCount(double p) const;
+
+    /** Effective per-latch switching rate (1/FO4-time) at depth p. */
+    double switchingRate(double p) const;
+
+    const PowerParams &powerParams() const { return power_; }
+    const PerformanceModel &perf() const { return perf_; }
+
+    /**
+     * Choose P_l so that leakage is @p fraction of total power at
+     * reference depth @p p_ref, keeping P_d fixed — the paper assumes
+     * "leakage power accounts for 15% of the power usage" (Sec. 4).
+     * Returns a modified copy of @p power.
+     */
+    static PowerParams calibrateLeakage(const MachineParams &machine,
+                                        PowerParams power, double fraction,
+                                        double p_ref);
+
+  private:
+    PerformanceModel perf_;
+    PowerParams power_;
+};
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_CORE_POWER_MODEL_HH

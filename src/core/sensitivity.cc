@@ -1,0 +1,107 @@
+#include "core/sensitivity.hh"
+
+#include <cmath>
+#include <functional>
+
+#include "common/logging.hh"
+#include "core/optimum_solver.hh"
+
+namespace pipedepth
+{
+
+namespace
+{
+
+/**
+ * Central-difference elasticity of p_opt with respect to one scalar
+ * accessed through @p set on copies of the baseline parameters.
+ */
+double
+elasticity(const MachineParams &machine, const PowerParams &power, double m,
+           double baseline_value, double rel_step,
+           const std::function<void(MachineParams &, PowerParams &, double &,
+                                    double)> &set)
+{
+    const double h = baseline_value * rel_step;
+    PP_ASSERT(h != 0.0, "zero baseline in sensitivity analysis");
+
+    auto solve_at = [&](double value) {
+        MachineParams mp = machine;
+        PowerParams pp = power;
+        double mm = m;
+        set(mp, pp, mm, value);
+        const OptimumSolver solver(mp, pp);
+        return solver.solveNumeric(mm);
+    };
+
+    const OptimumResult up = solve_at(baseline_value + h);
+    const OptimumResult down = solve_at(baseline_value - h);
+    if (!up.interior || !down.interior)
+        return std::nan("");
+    const double dlnp = std::log(up.p_opt) - std::log(down.p_opt);
+    const double dlnt = std::log(baseline_value + h) -
+                        std::log(baseline_value - h);
+    return dlnp / dlnt;
+}
+
+} // namespace
+
+std::vector<Sensitivity>
+optimumSensitivities(const MachineParams &machine, const PowerParams &power,
+                     double m, double rel_step)
+{
+    const OptimumSolver solver(machine, power);
+    if (!solver.solveNumeric(m).interior)
+        return {};
+
+    std::vector<Sensitivity> out;
+    auto add = [&](const std::string &name, double base,
+                   std::function<void(MachineParams &, PowerParams &,
+                                      double &, double)>
+                       set) {
+        out.push_back(
+            {name, elasticity(machine, power, m, base, rel_step, set)});
+    };
+
+    add("alpha", machine.alpha,
+        [](MachineParams &mp, PowerParams &, double &, double v) {
+            mp.alpha = v;
+        });
+    add("gamma", machine.gamma,
+        [](MachineParams &mp, PowerParams &, double &, double v) {
+            mp.gamma = v;
+        });
+    add("hazard_ratio", machine.hazard_ratio,
+        [](MachineParams &mp, PowerParams &, double &, double v) {
+            mp.hazard_ratio = v;
+        });
+    add("t_p", machine.t_p,
+        [](MachineParams &mp, PowerParams &, double &, double v) {
+            mp.t_p = v;
+        });
+    add("t_o", machine.t_o,
+        [](MachineParams &mp, PowerParams &, double &, double v) {
+            mp.t_o = v;
+        });
+    add("p_d", power.p_d,
+        [](MachineParams &, PowerParams &pp, double &, double v) {
+            pp.p_d = v;
+        });
+    if (power.p_l > 0.0) {
+        add("p_l", power.p_l,
+            [](MachineParams &, PowerParams &pp, double &, double v) {
+                pp.p_l = v;
+            });
+    }
+    add("beta", power.beta,
+        [](MachineParams &, PowerParams &pp, double &, double v) {
+            pp.beta = v;
+        });
+    add("m", m,
+        [](MachineParams &, PowerParams &, double &mm, double v) {
+            mm = v;
+        });
+    return out;
+}
+
+} // namespace pipedepth

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Sensitivity of the optimum pipeline depth to model parameters.
+ *
+ * Section 2.2 of the paper discusses how p_opt moves with N_H, gamma,
+ * alpha, t_p/t_o, leakage, and the exponents m and beta. This module
+ * quantifies those dependencies as elasticities
+ * (d ln p_opt / d ln theta) computed by central differences on the
+ * exact solver, so examples and tests can assert the paper's stated
+ * directions of change.
+ */
+
+#ifndef PIPEDEPTH_CORE_SENSITIVITY_HH
+#define PIPEDEPTH_CORE_SENSITIVITY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/params.hh"
+
+namespace pipedepth
+{
+
+/** One parameter's effect on p_opt. */
+struct Sensitivity
+{
+    std::string parameter; //!< parameter name
+    double elasticity = 0.0; //!< d ln p_opt / d ln theta at the baseline
+};
+
+/**
+ * Elasticities of the optimum depth with respect to every model
+ * parameter, at the given baseline and metric exponent m. Parameters
+ * covered: alpha, gamma, hazard_ratio, t_p, t_o, p_d, p_l, beta, m.
+ *
+ * Baselines where no interior optimum exists yield an empty vector.
+ */
+std::vector<Sensitivity> optimumSensitivities(const MachineParams &machine,
+                                              const PowerParams &power,
+                                              double m,
+                                              double rel_step = 0.02);
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_CORE_SENSITIVITY_HH

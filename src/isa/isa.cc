@@ -1,0 +1,119 @@
+#include "isa/isa.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+namespace
+{
+
+constexpr std::array<OpTraits, kNumOpClasses>
+buildTraits()
+{
+    std::array<OpTraits, kNumOpClasses> t{};
+    auto &alu = t[static_cast<std::size_t>(OpClass::IntAlu)];
+    alu.exec_latency = 1;
+
+    auto &mul = t[static_cast<std::size_t>(OpClass::IntMul)];
+    mul.exec_latency = 3;
+
+    auto &div = t[static_cast<std::size_t>(OpClass::IntDiv)];
+    div.exec_latency = 12;
+    div.unpipelined = true;
+
+    auto &load = t[static_cast<std::size_t>(OpClass::Load)];
+    load.is_mem = true;
+    load.is_load = true;
+    load.exec_latency = 1;
+
+    auto &store = t[static_cast<std::size_t>(OpClass::Store)];
+    store.is_mem = true;
+    store.is_store = true;
+    store.exec_latency = 1;
+
+    auto &alumem = t[static_cast<std::size_t>(OpClass::IntAluMem)];
+    alumem.is_mem = true;
+    alumem.is_load = true;
+    alumem.exec_latency = 1;
+
+    auto &bc = t[static_cast<std::size_t>(OpClass::BranchCond)];
+    bc.is_branch = true;
+    bc.exec_latency = 1;
+
+    auto &bu = t[static_cast<std::size_t>(OpClass::BranchUncond)];
+    bu.is_branch = true;
+    bu.exec_latency = 1;
+
+    auto &fadd = t[static_cast<std::size_t>(OpClass::FpAdd)];
+    fadd.is_fp = true;
+    fadd.exec_latency = 3;
+    fadd.unpipelined = true;
+
+    auto &fmul = t[static_cast<std::size_t>(OpClass::FpMul)];
+    fmul.is_fp = true;
+    fmul.exec_latency = 4;
+    fmul.unpipelined = true;
+
+    auto &fdiv = t[static_cast<std::size_t>(OpClass::FpDiv)];
+    fdiv.is_fp = true;
+    fdiv.exec_latency = 18;
+    fdiv.unpipelined = true;
+
+    auto &flong = t[static_cast<std::size_t>(OpClass::FpLong)];
+    flong.is_fp = true;
+    flong.exec_latency = 24;
+    flong.unpipelined = true;
+
+    return t;
+}
+
+constexpr auto kTraits = buildTraits();
+
+} // namespace
+
+const OpTraits &
+opTraits(OpClass cls)
+{
+    const auto idx = static_cast<std::size_t>(cls);
+    PP_ASSERT(idx < kNumOpClasses, "bad op class ", idx);
+    return kTraits[idx];
+}
+
+std::string
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+        return "alu";
+      case OpClass::IntMul:
+        return "mul";
+      case OpClass::IntDiv:
+        return "div";
+      case OpClass::Load:
+        return "load";
+      case OpClass::Store:
+        return "store";
+      case OpClass::IntAluMem:
+        return "alumem";
+      case OpClass::BranchCond:
+        return "brcond";
+      case OpClass::BranchUncond:
+        return "bruncond";
+      case OpClass::FpAdd:
+        return "fpadd";
+      case OpClass::FpMul:
+        return "fpmul";
+      case OpClass::FpDiv:
+        return "fpdiv";
+      case OpClass::FpLong:
+        return "fplong";
+      case OpClass::NumOpClasses:
+        break;
+    }
+    PP_PANIC("bad op class");
+}
+
+} // namespace pipedepth

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A miniature zSeries-flavoured instruction set for trace-driven
+ * simulation.
+ *
+ * The paper's simulator models IBM zSeries code, whose salient feature
+ * for pipeline studies is the split between register-only (RR)
+ * instructions and register/memory (RX) instructions: RX operations
+ * (loads, stores, and ALU ops with one memory operand) traverse an
+ * extra address-generation + cache-access front section of the
+ * pipeline (paper Fig. 2). This module defines the operation classes
+ * and their static properties; actual dynamic instances live in trace
+ * records (see trace/trace.hh).
+ */
+
+#ifndef PIPEDEPTH_ISA_ISA_HH
+#define PIPEDEPTH_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pipedepth
+{
+
+/** Operation classes recognized by the pipeline model. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,      //!< RR integer ALU op (add, logical, shift, compare)
+    IntMul,      //!< RR integer multiply
+    IntDiv,      //!< RR integer divide
+    Load,        //!< RX load from memory
+    Store,       //!< RX store to memory
+    IntAluMem,   //!< RX ALU op with one memory source operand
+    BranchCond,  //!< conditional branch (RR form)
+    BranchUncond,//!< unconditional branch / jump
+    FpAdd,       //!< floating point add/subtract
+    FpMul,       //!< floating point multiply
+    FpDiv,       //!< floating point divide
+    FpLong,      //!< long-running FP op (sqrt, convert-and-round)
+    NumOpClasses,
+};
+
+/** Number of distinct op classes (for tables indexed by OpClass). */
+constexpr std::size_t kNumOpClasses =
+    static_cast<std::size_t>(OpClass::NumOpClasses);
+
+/** Register-file identifiers: 16 GPRs then 16 FPRs; kNoReg = none. */
+constexpr std::uint8_t kNumGprs = 16;
+constexpr std::uint8_t kNumFprs = 16;
+constexpr std::uint8_t kNumRegs = kNumGprs + kNumFprs;
+constexpr std::uint8_t kNoReg = 0xff;
+
+/** First FPR index in the unified register namespace. */
+constexpr std::uint8_t kFprBase = kNumGprs;
+
+/** Static properties of an operation class. */
+struct OpTraits
+{
+    /** True for RX-format ops (address generation + cache access). */
+    bool is_mem = false;
+    /** True iff the op reads memory (Load, IntAluMem). */
+    bool is_load = false;
+    /** True iff the op writes memory. */
+    bool is_store = false;
+    /** True for branches of either kind. */
+    bool is_branch = false;
+    /** True for floating point ops. */
+    bool is_fp = false;
+    /**
+     * Execution latency in cycles of the *base* (unexpanded, one
+     * stage) execution unit. Pipeline expansion multiplies the
+     * single-cycle portion, not the whole latency; see
+     * uarch/pipeline_config.hh.
+     */
+    int exec_latency = 1;
+    /**
+     * True if the op issues non-pipelined: it occupies its execution
+     * unit for the full latency (the paper's FP model: "floating
+     * point instructions are assumed to execute individually and take
+     * multiple cycles to complete").
+     */
+    bool unpipelined = false;
+};
+
+/** Look up the static traits of an op class. */
+const OpTraits &opTraits(OpClass cls);
+
+/** Short mnemonic for reports ("alu", "load", "fpmul", ...). */
+std::string opClassName(OpClass cls);
+
+/** True for either branch class. */
+inline bool
+isBranch(OpClass cls)
+{
+    return opTraits(cls).is_branch;
+}
+
+/** True for RX-format (memory path) ops. */
+inline bool
+isMem(OpClass cls)
+{
+    return opTraits(cls).is_mem;
+}
+
+/** True for floating point classes. */
+inline bool
+isFp(OpClass cls)
+{
+    return opTraits(cls).is_fp;
+}
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_ISA_ISA_HH

@@ -1,0 +1,89 @@
+#include "math/optimize.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+ScalarMax
+goldenSectionMax(const std::function<double(double)> &f, double lo,
+                 double hi, double tol, int max_iter)
+{
+    PP_ASSERT(lo <= hi, "invalid interval");
+    const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double a = lo, b = hi;
+    double c = b - inv_phi * (b - a);
+    double d = a + inv_phi * (b - a);
+    double fc = f(c);
+    double fd = f(d);
+    for (int it = 0; it < max_iter && (b - a) > tol; ++it) {
+        if (fc > fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    ScalarMax out;
+    out.x = 0.5 * (a + b);
+    out.value = f(out.x);
+    out.interior = out.x > lo + 2 * tol && out.x < hi - 2 * tol;
+    return out;
+}
+
+ScalarMax
+maximizeScan(const std::function<double(double)> &f, double lo, double hi,
+             int grid_points, double tol)
+{
+    PP_ASSERT(lo < hi, "invalid interval");
+    PP_ASSERT(grid_points >= 3, "need at least 3 grid points");
+
+    const double step = (hi - lo) / (grid_points - 1);
+    int best = 0;
+    double best_val = f(lo);
+    for (int i = 1; i < grid_points; ++i) {
+        const double v = f(lo + step * i);
+        if (v > best_val) {
+            best_val = v;
+            best = i;
+        }
+    }
+
+    const double a = lo + step * std::max(0, best - 1);
+    const double b = lo + step * std::min(grid_points - 1, best + 1);
+    ScalarMax out = goldenSectionMax(f, a, b, tol);
+
+    // Endpoint wins if refinement could not beat the boundary values.
+    const double f_lo = f(lo);
+    const double f_hi = f(hi);
+    if (f_lo >= out.value) {
+        out.x = lo;
+        out.value = f_lo;
+        out.interior = false;
+    }
+    if (f_hi > out.value) {
+        out.x = hi;
+        out.value = f_hi;
+        out.interior = false;
+    }
+    if (out.x <= lo + 2 * step * 1e-9 || out.x >= hi - 2 * step * 1e-9)
+        out.interior = false;
+    // A refined point collapsing onto the boundary grid cell also
+    // counts as an endpoint maximum.
+    if (best == 0 && out.x - lo < step * 1e-3)
+        out.interior = false;
+    if (best == grid_points - 1 && hi - out.x < step * 1e-3)
+        out.interior = false;
+    return out;
+}
+
+} // namespace pipedepth

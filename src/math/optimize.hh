@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Scalar optimization helpers: golden-section search and grid-seeded
+ * refinement for unimodal-in-practice objective functions.
+ *
+ * The power/performance metric of the paper is smooth in p and has at
+ * most one interior maximum on p > 0 (Sec. 2.2); maximizeScan() does
+ * not rely on that, though: it grids the interval first, then refines
+ * the best bracket with golden-section, so multiple local maxima are
+ * handled as long as the grid resolves them.
+ */
+
+#ifndef PIPEDEPTH_MATH_OPTIMIZE_HH
+#define PIPEDEPTH_MATH_OPTIMIZE_HH
+
+#include <functional>
+
+namespace pipedepth
+{
+
+/** Result of a scalar maximization. */
+struct ScalarMax
+{
+    double x = 0.0;     //!< argmax
+    double value = 0.0; //!< objective at argmax
+    bool interior = false; //!< true iff the max is not at an endpoint
+};
+
+/**
+ * Golden-section search for the maximum of @p f on [lo, hi].
+ * Assumes f is unimodal on the interval.
+ */
+ScalarMax goldenSectionMax(const std::function<double(double)> &f,
+                           double lo, double hi, double tol = 1e-9,
+                           int max_iter = 200);
+
+/**
+ * Robust maximization: evaluate @p f on a uniform grid of
+ * @p grid_points over [lo, hi], then golden-section refine around the
+ * best grid point. Reports whether the maximum is interior to the
+ * interval (an endpoint maximum means "no interior optimum", which for
+ * the paper's metric means the unpipelined design wins).
+ */
+ScalarMax maximizeScan(const std::function<double(double)> &f, double lo,
+                       double hi, int grid_points = 400,
+                       double tol = 1e-9);
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_MATH_OPTIMIZE_HH

@@ -1,0 +1,210 @@
+#include "math/poly.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+Poly::Poly(std::initializer_list<double> coeffs) : coeffs_(coeffs)
+{
+    trim();
+}
+
+Poly::Poly(std::vector<double> coeffs) : coeffs_(std::move(coeffs))
+{
+    trim();
+}
+
+Poly
+Poly::constant(double c)
+{
+    return Poly({c});
+}
+
+Poly
+Poly::monomial(double c, int k)
+{
+    PP_ASSERT(k >= 0, "monomial degree must be non-negative");
+    std::vector<double> v(static_cast<std::size_t>(k) + 1, 0.0);
+    v.back() = c;
+    return Poly(std::move(v));
+}
+
+void
+Poly::trim()
+{
+    while (!coeffs_.empty() && coeffs_.back() == 0.0)
+        coeffs_.pop_back();
+}
+
+int
+Poly::degree() const
+{
+    return static_cast<int>(coeffs_.size()) - 1;
+}
+
+double
+Poly::coeff(int k) const
+{
+    if (k < 0 || k >= static_cast<int>(coeffs_.size()))
+        return 0.0;
+    return coeffs_[static_cast<std::size_t>(k)];
+}
+
+double
+Poly::operator()(double x) const
+{
+    double acc = 0.0;
+    for (std::size_t i = coeffs_.size(); i-- > 0;)
+        acc = acc * x + coeffs_[i];
+    return acc;
+}
+
+Poly
+Poly::derivative() const
+{
+    if (coeffs_.size() <= 1)
+        return Poly();
+    std::vector<double> d(coeffs_.size() - 1);
+    for (std::size_t i = 1; i < coeffs_.size(); ++i)
+        d[i - 1] = coeffs_[i] * static_cast<double>(i);
+    return Poly(std::move(d));
+}
+
+Poly
+Poly::operator+(const Poly &rhs) const
+{
+    std::vector<double> v(std::max(coeffs_.size(), rhs.coeffs_.size()), 0.0);
+    for (std::size_t i = 0; i < coeffs_.size(); ++i)
+        v[i] += coeffs_[i];
+    for (std::size_t i = 0; i < rhs.coeffs_.size(); ++i)
+        v[i] += rhs.coeffs_[i];
+    return Poly(std::move(v));
+}
+
+Poly
+Poly::operator-(const Poly &rhs) const
+{
+    return *this + (-rhs);
+}
+
+Poly
+Poly::operator-() const
+{
+    std::vector<double> v(coeffs_);
+    for (auto &c : v)
+        c = -c;
+    return Poly(std::move(v));
+}
+
+Poly
+Poly::operator*(const Poly &rhs) const
+{
+    if (isZero() || rhs.isZero())
+        return Poly();
+    std::vector<double> v(coeffs_.size() + rhs.coeffs_.size() - 1, 0.0);
+    for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+        for (std::size_t j = 0; j < rhs.coeffs_.size(); ++j)
+            v[i + j] += coeffs_[i] * rhs.coeffs_[j];
+    }
+    return Poly(std::move(v));
+}
+
+Poly
+Poly::operator*(double s) const
+{
+    std::vector<double> v(coeffs_);
+    for (auto &c : v)
+        c *= s;
+    return Poly(std::move(v));
+}
+
+Poly &
+Poly::operator+=(const Poly &rhs)
+{
+    *this = *this + rhs;
+    return *this;
+}
+
+Poly &
+Poly::operator-=(const Poly &rhs)
+{
+    *this = *this - rhs;
+    return *this;
+}
+
+Poly &
+Poly::operator*=(const Poly &rhs)
+{
+    *this = *this * rhs;
+    return *this;
+}
+
+Poly &
+Poly::operator*=(double s)
+{
+    *this = *this * s;
+    return *this;
+}
+
+Poly
+Poly::deflate(double r, double *remainder) const
+{
+    PP_ASSERT(degree() >= 1, "deflate requires degree >= 1");
+    std::vector<double> q(coeffs_.size() - 1, 0.0);
+    double carry = coeffs_.back();
+    for (std::size_t i = coeffs_.size() - 1; i-- > 0;) {
+        q[i] = carry;
+        carry = coeffs_[i] + carry * r;
+    }
+    if (remainder)
+        *remainder = carry;
+    return Poly(std::move(q));
+}
+
+Poly
+Poly::monic() const
+{
+    PP_ASSERT(!isZero(), "monic() of the zero polynomial");
+    return *this * (1.0 / coeffs_.back());
+}
+
+std::string
+Poly::str() const
+{
+    if (isZero())
+        return "0";
+    std::string out;
+    for (int k = degree(); k >= 0; --k) {
+        const double c = coeff(k);
+        if (c == 0.0)
+            continue;
+        char buf[64];
+        if (out.empty()) {
+            std::snprintf(buf, sizeof(buf), "%g", c);
+            out += buf;
+        } else {
+            std::snprintf(buf, sizeof(buf), " %c %g", c < 0 ? '-' : '+',
+                          std::fabs(c));
+            out += buf;
+        }
+        if (k == 1) {
+            out += "x";
+        } else if (k > 1) {
+            std::snprintf(buf, sizeof(buf), "x^%d", k);
+            out += buf;
+        }
+    }
+    return out;
+}
+
+Poly
+operator*(double s, const Poly &p)
+{
+    return p * s;
+}
+
+} // namespace pipedepth

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Dense univariate polynomials with real coefficients.
+ *
+ * The optimality conditions of the paper (Eq. 5 and our reduced
+ * cubic/gated quartic forms) are built symbolically from small factor
+ * polynomials; Poly provides the ring arithmetic to do that without
+ * hand-expanding coefficient formulas, which is where sign errors in
+ * this kind of derivation usually hide.
+ */
+
+#ifndef PIPEDEPTH_MATH_POLY_HH
+#define PIPEDEPTH_MATH_POLY_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace pipedepth
+{
+
+/**
+ * A polynomial sum_k c[k] x^k with double coefficients.
+ *
+ * Invariant: the coefficient vector never has a trailing (highest
+ * degree) zero unless the polynomial is identically zero, in which
+ * case it is empty. Degree of the zero polynomial is reported as -1.
+ */
+class Poly
+{
+  public:
+    /** The zero polynomial. */
+    Poly() = default;
+
+    /** From coefficients, lowest degree first: {c0, c1, c2, ...}. */
+    Poly(std::initializer_list<double> coeffs);
+
+    /** From a coefficient vector, lowest degree first. */
+    explicit Poly(std::vector<double> coeffs);
+
+    /** The constant polynomial c. */
+    static Poly constant(double c);
+
+    /** The monomial c * x^k. */
+    static Poly monomial(double c, int k);
+
+    /** Degree; -1 for the zero polynomial. */
+    int degree() const;
+
+    /** True iff identically zero. */
+    bool isZero() const { return coeffs_.empty(); }
+
+    /** Coefficient of x^k (0 beyond the stored degree). */
+    double coeff(int k) const;
+
+    /** Read-only access to the trimmed coefficient vector. */
+    const std::vector<double> &coeffs() const { return coeffs_; }
+
+    /** Horner evaluation at x. */
+    double operator()(double x) const;
+
+    /** Formal derivative. */
+    Poly derivative() const;
+
+    /** Ring operations. */
+    Poly operator+(const Poly &rhs) const;
+    Poly operator-(const Poly &rhs) const;
+    Poly operator*(const Poly &rhs) const;
+    Poly operator*(double s) const;
+    Poly operator-() const;
+
+    Poly &operator+=(const Poly &rhs);
+    Poly &operator-=(const Poly &rhs);
+    Poly &operator*=(const Poly &rhs);
+    Poly &operator*=(double s);
+
+    /**
+     * Divide by a monic-izable linear factor (x - r), returning the
+     * quotient via synthetic division. The remainder (which should be
+     * ~0 when r is a root) is written to @p remainder if non-null.
+     */
+    Poly deflate(double r, double *remainder = nullptr) const;
+
+    /**
+     * Scale so the leading coefficient is 1. Requires a nonzero
+     * polynomial.
+     */
+    Poly monic() const;
+
+    /** Human-readable rendering, e.g. "3x^2 - 1.5x + 2". */
+    std::string str() const;
+
+  private:
+    void trim();
+
+    std::vector<double> coeffs_;
+};
+
+/** Scalar * polynomial. */
+Poly operator*(double s, const Poly &p);
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_MATH_POLY_HH

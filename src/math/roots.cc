@@ -1,0 +1,186 @@
+#include "math/roots.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+double
+rootBound(const Poly &poly)
+{
+    PP_ASSERT(poly.degree() >= 1, "rootBound requires degree >= 1");
+    const auto &c = poly.coeffs();
+    const double lead = std::fabs(c.back());
+    double maxr = 0.0;
+    for (std::size_t i = 0; i + 1 < c.size(); ++i)
+        maxr = std::max(maxr, std::fabs(c[i]) / lead);
+    return 1.0 + maxr;
+}
+
+double
+bisectRoot(const std::function<double(double)> &f, double lo, double hi,
+           double tol, int max_iter)
+{
+    double flo = f(lo);
+    double fhi = f(hi);
+    if (flo == 0.0)
+        return lo;
+    if (fhi == 0.0)
+        return hi;
+    PP_ASSERT(flo * fhi < 0.0, "bisectRoot requires a sign change: f(", lo,
+              ")=", flo, " f(", hi, ")=", fhi);
+
+    for (int it = 0; it < max_iter && hi - lo > tol; ++it) {
+        // Secant proposal, clamped to the middle 80% of the bracket so
+        // we keep bisection's guaranteed progress.
+        double mid = 0.5 * (lo + hi);
+        const double denom = fhi - flo;
+        if (denom != 0.0) {
+            const double sec = lo - flo * (hi - lo) / denom;
+            const double frac = (sec - lo) / (hi - lo);
+            if (frac > 0.1 && frac < 0.9)
+                mid = sec;
+        }
+        const double fm = f(mid);
+        if (fm == 0.0)
+            return mid;
+        if (flo * fm < 0.0) {
+            hi = mid;
+            fhi = fm;
+        } else {
+            lo = mid;
+            flo = fm;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+newtonRoot(const std::function<double(double)> &f,
+           const std::function<double(double)> &df, double x0, double lo,
+           double hi, double tol, int max_iter)
+{
+    double x = std::clamp(x0, lo, hi);
+    for (int it = 0; it < max_iter; ++it) {
+        const double fx = f(x);
+        if (fx == 0.0)
+            return x;
+        const double dfx = df(x);
+        if (dfx == 0.0)
+            break;
+        const double next = x - fx / dfx;
+        if (!(next >= lo && next <= hi))
+            break;
+        if (std::fabs(next - x) < tol)
+            return next;
+        x = next;
+    }
+    // Fall back to bisection if a bracket exists.
+    if (f(lo) * f(hi) < 0.0)
+        return bisectRoot(f, lo, hi, tol);
+    return x;
+}
+
+namespace
+{
+
+/**
+ * Recursive worker: returns ascending real roots. Scales coefficients
+ * to keep evaluation well-conditioned (scaling does not move roots).
+ */
+std::vector<double>
+realRootsImpl(const Poly &poly, double tol)
+{
+    const int deg = poly.degree();
+    PP_ASSERT(deg >= 0, "realRoots of the zero polynomial");
+    if (deg == 0)
+        return {};
+    if (deg == 1)
+        return {-poly.coeff(0) / poly.coeff(1)};
+
+    // Candidate interval endpoints: -B, critical points, +B.
+    const double bound = rootBound(poly);
+    std::vector<double> pts{-bound};
+    for (double c : realRootsImpl(poly.derivative(), tol)) {
+        if (c > -bound && c < bound)
+            pts.push_back(c);
+    }
+    pts.push_back(bound);
+    std::sort(pts.begin(), pts.end());
+
+    auto f = [&poly](double x) { return poly(x); };
+
+    std::vector<double> roots;
+    for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+        const double lo = pts[i];
+        const double hi = pts[i + 1];
+        const double flo = poly(lo);
+        const double fhi = poly(hi);
+        if (flo == 0.0)
+            roots.push_back(lo);
+        if (flo * fhi < 0.0)
+            roots.push_back(bisectRoot(f, lo, hi, tol));
+    }
+    if (poly(pts.back()) == 0.0)
+        roots.push_back(pts.back());
+
+    // Even-multiplicity roots: critical points where the polynomial
+    // itself (relative to its local scale) is ~0 but no sign change
+    // brackets them.
+    double scale = 0.0;
+    for (double c : poly.coeffs())
+        scale = std::max(scale, std::fabs(c));
+    for (std::size_t i = 1; i + 1 < pts.size(); ++i) {
+        const double x = pts[i];
+        const double fmag = std::fabs(poly(x));
+        if (fmag <= scale * 1e-12) {
+            bool dup = false;
+            for (double r : roots)
+                dup = dup || std::fabs(r - x) <= tol * 10;
+            if (!dup)
+                roots.push_back(x);
+        }
+    }
+
+    std::sort(roots.begin(), roots.end());
+    // Deduplicate near-coincident roots.
+    std::vector<double> out;
+    for (double r : roots) {
+        if (out.empty() || std::fabs(r - out.back()) > tol * 10)
+            out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<double>
+realRoots(const Poly &poly, double tol)
+{
+    Poly p = poly;
+    // Strip exact zero roots (common after symbolic construction).
+    std::vector<double> zero_roots;
+    while (p.degree() >= 1 && p.coeff(0) == 0.0) {
+        zero_roots.push_back(0.0);
+        std::vector<double> shifted(p.coeffs().begin() + 1,
+                                    p.coeffs().end());
+        p = Poly(std::move(shifted));
+    }
+    std::vector<double> roots;
+    if (p.degree() >= 1)
+        roots = realRootsImpl(p.monic(), tol);
+    if (!zero_roots.empty())
+        roots.push_back(0.0);
+    std::sort(roots.begin(), roots.end());
+    std::vector<double> out;
+    for (double r : roots) {
+        if (out.empty() || std::fabs(r - out.back()) > tol * 10)
+            out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace pipedepth

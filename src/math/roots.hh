@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Real-root isolation and refinement for polynomials and generic
+ * scalar functions.
+ *
+ * realRoots() finds every real root of a polynomial by recursively
+ * computing the roots of the derivative (critical points), then
+ * bracketing sign changes between consecutive critical points (and the
+ * Cauchy bound) and bisecting. This is slower than a companion-matrix
+ * eigen solve but needs no linear algebra, is robust for the small
+ * degrees used here (<= 6), and is guaranteed to find all simple real
+ * roots.
+ */
+
+#ifndef PIPEDEPTH_MATH_ROOTS_HH
+#define PIPEDEPTH_MATH_ROOTS_HH
+
+#include <functional>
+#include <vector>
+
+#include "math/poly.hh"
+
+namespace pipedepth
+{
+
+/**
+ * All real roots of @p poly, ascending, deduplicated to @p tol.
+ * Multiple (even-order) roots that merely touch zero are reported when
+ * they coincide with a critical point within tolerance.
+ *
+ * @param poly polynomial of any degree >= 1
+ * @param tol  absolute x tolerance for refinement and deduplication
+ */
+std::vector<double> realRoots(const Poly &poly, double tol = 1e-10);
+
+/**
+ * Refine a root of @p f inside a bracketing interval [lo, hi]
+ * (f(lo) and f(hi) must have opposite signs or one endpoint must be a
+ * root) by hybrid bisection/secant. Returns the root.
+ */
+double bisectRoot(const std::function<double(double)> &f, double lo,
+                  double hi, double tol = 1e-12, int max_iter = 200);
+
+/**
+ * Newton iteration with bisection fallback for a function with known
+ * derivative, starting from @p x0 constrained to [lo, hi].
+ */
+double newtonRoot(const std::function<double(double)> &f,
+                  const std::function<double(double)> &df, double x0,
+                  double lo, double hi, double tol = 1e-12,
+                  int max_iter = 100);
+
+/** Cauchy upper bound on the magnitude of any root of @p poly. */
+double rootBound(const Poly &poly);
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_MATH_ROOTS_HH

@@ -1,0 +1,131 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+void
+Summary::add(double value)
+{
+    samples_.push_back(value);
+    dirty_ = true;
+}
+
+void
+Summary::add(const std::vector<double> &values)
+{
+    samples_.insert(samples_.end(), values.begin(), values.end());
+    dirty_ = true;
+}
+
+const std::vector<double> &
+Summary::sorted() const
+{
+    if (dirty_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+    return sorted_;
+}
+
+double
+Summary::min() const
+{
+    PP_ASSERT(!samples_.empty(), "no samples");
+    return sorted().front();
+}
+
+double
+Summary::max() const
+{
+    PP_ASSERT(!samples_.empty(), "no samples");
+    return sorted().back();
+}
+
+double
+Summary::mean() const
+{
+    PP_ASSERT(!samples_.empty(), "no samples");
+    double sum = 0.0;
+    for (double v : samples_)
+        sum += v;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+Summary::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double v : samples_)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double
+Summary::median() const
+{
+    return percentile(50.0);
+}
+
+double
+Summary::percentile(double q) const
+{
+    PP_ASSERT(!samples_.empty(), "no samples");
+    PP_ASSERT(q >= 0.0 && q <= 100.0, "percentile must be in [0, 100]");
+    const auto &s = sorted();
+    if (s.size() == 1)
+        return s.front();
+    const double rank = q / 100.0 * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= s.size())
+        return s.back();
+    return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+void
+Histogram::add(double value)
+{
+    ++bins_[static_cast<int>(std::lround(value))];
+    ++total_;
+}
+
+int
+Histogram::mode() const
+{
+    PP_ASSERT(total_ > 0, "empty histogram");
+    int best_bin = bins_.begin()->first;
+    int best_count = 0;
+    for (const auto &[bin, count] : bins_) {
+        if (count > best_count) {
+            best_count = count;
+            best_bin = bin;
+        }
+    }
+    return best_bin;
+}
+
+std::string
+Histogram::render() const
+{
+    std::string out;
+    for (const auto &[bin, count] : bins_) {
+        out += std::to_string(bin);
+        out += '\t';
+        out += std::to_string(count);
+        out += '\t';
+        out.append(static_cast<std::size_t>(count), '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace pipedepth

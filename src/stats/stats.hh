@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Summary statistics and histograms for experiment reporting.
+ *
+ * The distribution figures of the paper (Figs. 6/7) are histograms of
+ * per-workload optima; this module provides the accumulation and the
+ * text rendering used by the benches, plus the usual summary
+ * statistics (mean, median, percentiles, stddev) for EXPERIMENTS.md
+ * style reporting.
+ */
+
+#ifndef PIPEDEPTH_STATS_STATS_HH
+#define PIPEDEPTH_STATS_STATS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pipedepth
+{
+
+/** Accumulates samples and answers summary queries. */
+class Summary
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Add many samples. */
+    void add(const std::vector<double> &values);
+
+    std::size_t count() const { return samples_.size(); }
+    double min() const;
+    double max() const;
+    double mean() const;
+    /** Sample standard deviation (n-1); 0 for fewer than 2 samples. */
+    double stddev() const;
+    double median() const;
+
+    /**
+     * Percentile by linear interpolation between order statistics.
+     * @param q in [0, 100]
+     */
+    double percentile(double q) const;
+
+    /** All samples, unsorted insertion order. */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    /** Sorted view, built lazily. */
+    const std::vector<double> &sorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool dirty_ = true;
+};
+
+/** Integer-binned histogram (bin = round(value)). */
+class Histogram
+{
+  public:
+    /** Add one sample to its (rounded) bin. */
+    void add(double value);
+
+    /** Bin -> count, ascending by bin. */
+    const std::map<int, int> &bins() const { return bins_; }
+
+    /** Total samples. */
+    std::size_t count() const { return total_; }
+
+    /** The bin with the highest count (smallest on ties). */
+    int mode() const;
+
+    /** Render as "bin count ####" lines. */
+    std::string render() const;
+
+  private:
+    std::map<int, int> bins_;
+    std::size_t total_ = 0;
+};
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_STATS_STATS_HH

@@ -1,0 +1,30 @@
+#include "trace/trace.hh"
+
+namespace pipedepth
+{
+
+TraceMix
+computeMix(const Trace &trace)
+{
+    TraceMix mix;
+    mix.total = trace.size();
+    for (const auto &r : trace.records) {
+        const OpTraits &t = opTraits(r.op);
+        if (r.op == OpClass::Load)
+            ++mix.loads;
+        if (t.is_store)
+            ++mix.stores;
+        if (t.is_branch) {
+            ++mix.branches;
+            if (r.taken)
+                ++mix.taken_branches;
+        }
+        if (t.is_fp)
+            ++mix.fp_ops;
+        if (t.is_mem)
+            ++mix.mem_ops;
+    }
+    return mix;
+}
+
+} // namespace pipedepth

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Instruction trace representation.
+ *
+ * The paper's methodology is trace-driven simulation: "The simulator
+ * uses design parameters that describe the organization of the
+ * processor and a trace tape, as inputs." A Trace here is the
+ * in-memory equivalent of that trace tape: the dynamic instruction
+ * stream with operands, memory addresses and branch outcomes.
+ */
+
+#ifndef PIPEDEPTH_TRACE_TRACE_HH
+#define PIPEDEPTH_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace pipedepth
+{
+
+/** One dynamic instruction in a trace. */
+struct TraceRecord
+{
+    std::uint64_t pc = 0;       //!< instruction address
+    std::uint64_t mem_addr = 0; //!< effective address (RX ops only)
+    OpClass op = OpClass::IntAlu;
+    std::uint8_t dst = kNoReg;  //!< destination register or kNoReg
+    std::uint8_t src1 = kNoReg; //!< source registers (kNoReg = unused)
+    std::uint8_t src2 = kNoReg;
+    std::uint8_t src3 = kNoReg; //!< base/index register for RX ops
+    bool taken = false;         //!< branch outcome (branches only)
+    std::uint64_t target = 0;   //!< branch target (branches only)
+};
+
+/** A dynamic instruction stream plus identifying metadata. */
+struct Trace
+{
+    std::string name;                 //!< workload name
+    std::uint64_t seed = 0;           //!< generator seed (0 = captured)
+    std::vector<TraceRecord> records; //!< the dynamic stream, in order
+
+    std::size_t size() const { return records.size(); }
+    bool empty() const { return records.empty(); }
+    const TraceRecord &operator[](std::size_t i) const
+    {
+        return records[i];
+    }
+};
+
+/** Aggregate statistics of a trace (mix audit; used in tests/docs). */
+struct TraceMix
+{
+    std::uint64_t total = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t taken_branches = 0;
+    std::uint64_t fp_ops = 0;
+    std::uint64_t mem_ops = 0; //!< all RX-format ops
+    double frac(std::uint64_t n) const
+    {
+        return total ? static_cast<double>(n) / total : 0.0;
+    }
+};
+
+/** Compute the instruction-mix summary of a trace. */
+TraceMix computeMix(const Trace &trace);
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_TRACE_TRACE_HH

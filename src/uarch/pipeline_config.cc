@@ -1,0 +1,254 @@
+#include "uarch/pipeline_config.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+std::string
+unitName(Unit unit)
+{
+    switch (unit) {
+      case Unit::Fetch:
+        return "fetch";
+      case Unit::Decode:
+        return "decode";
+      case Unit::Rename:
+        return "rename";
+      case Unit::AgenQ:
+        return "agenq";
+      case Unit::Agen:
+        return "agen";
+      case Unit::DCache:
+        return "dcache";
+      case Unit::ExecQ:
+        return "execq";
+      case Unit::Fxu:
+        return "fxu";
+      case Unit::Fpu:
+        return "fpu";
+      case Unit::Complete:
+        return "complete";
+      case Unit::Retire:
+        return "retire";
+      case Unit::NumUnits:
+        break;
+    }
+    PP_PANIC("bad unit");
+}
+
+std::string
+toString(ExpansionPolicy policy)
+{
+    switch (policy) {
+      case ExpansionPolicy::Uniform:
+        return "uniform";
+      case ExpansionPolicy::DecodeHeavy:
+        return "decode-heavy";
+      case ExpansionPolicy::CacheHeavy:
+        return "cache-heavy";
+      case ExpansionPolicy::ExecHeavy:
+        return "exec-heavy";
+    }
+    PP_PANIC("bad expansion policy");
+}
+
+double
+PipelineConfig::cycleTime() const
+{
+    return t_o + t_p / depth;
+}
+
+int
+PipelineConfig::l2PenaltyCycles() const
+{
+    return std::max(1, static_cast<int>(
+                           std::ceil(l2_latency_fo4 / cycleTime())));
+}
+
+int
+PipelineConfig::missPenaltyCycles() const
+{
+    return std::max(1, static_cast<int>(
+                           std::ceil(mem_latency_fo4 / cycleTime())));
+}
+
+int
+PipelineConfig::forwardLatency(int exec_depth) const
+{
+    return std::max(1, static_cast<int>(std::lround(
+                           fwd_frac * static_cast<double>(exec_depth))));
+}
+
+int
+PipelineConfig::takenBranchBubble() const
+{
+    return 1;
+}
+
+int
+PipelineConfig::rxPathDepth() const
+{
+    auto d = [this](Unit u) {
+        return unit_depth[static_cast<std::size_t>(u)];
+    };
+    return d(Unit::Decode) + d(Unit::Rename) + d(Unit::AgenQ) +
+           d(Unit::Agen) + d(Unit::DCache) + d(Unit::ExecQ) + d(Unit::Fxu);
+}
+
+void
+PipelineConfig::validate() const
+{
+    if (depth < 2 || depth > 30)
+        PP_FATAL("pipeline depth must be in [2, 30] (got ", depth, ")");
+    if (width < 1 || width > 8)
+        PP_FATAL("width must be in [1, 8] (got ", width, ")");
+    if (agen_width < 1 || agen_width > width)
+        PP_FATAL("agen_width must be in [1, width]");
+    if (rxPathDepth() != depth)
+        PP_FATAL("unit depths along the RX path sum to ", rxPathDepth(),
+                 " but depth is ", depth);
+    if (fetch_buffer < width || agen_queue < 1 || exec_queue < 1)
+        PP_FATAL("queue capacities too small");
+    if (max_inflight < 2 * width)
+        PP_FATAL("max_inflight too small");
+    if (t_p <= 0.0 || t_o <= 0.0 || mem_latency_fo4 < 0.0 ||
+        l2_latency_fo4 < 0.0) {
+        PP_FATAL("bad technology parameters");
+    }
+    if (fwd_frac <= 0.0 || fwd_frac > 1.0)
+        PP_FATAL("fwd_frac must be in (0, 1]");
+    icache.validate();
+    dcache.validate();
+    l2cache.validate();
+}
+
+PipelineConfig
+PipelineConfig::forDepth(int p, bool in_order, ExpansionPolicy policy)
+{
+    if (p < 2 || p > 30)
+        PP_FATAL("supported pipeline depths are 2..30 (got ", p, ")");
+
+    PipelineConfig cfg;
+    cfg.depth = p;
+    cfg.in_order = in_order;
+
+    // Out-of-order configurations spend one of the p stages on
+    // register rename, so the remaining allocation works with p - 1.
+    const int alloc = in_order ? p : p - 1;
+    if (!in_order && alloc < 2)
+        PP_FATAL("out-of-order configurations need depth >= 3");
+
+    auto set = [&cfg](Unit u, int d) {
+        cfg.unit_depth[static_cast<std::size_t>(u)] = d;
+    };
+
+    set(Unit::Fetch, 1);
+    set(Unit::Complete, 1);
+    set(Unit::Retire, 1);
+    // Rename overlaps decode in the in-order model ("for an in-order
+    // model the register rename stage is skipped").
+    set(Unit::Rename, in_order ? 0 : 1);
+
+    // Base allocation at p = 6 (the unexpanded Fig. 2 pipe, in-order):
+    // Decode 1, AgenQ 1, Agen 1, Cache 1, ExecQ 1, E-unit 1.
+    if (alloc >= 6) {
+        int dec = 1, cache = 1, exec = 1;
+        // Insert extra stages in Decode, Cache Access and E-unit
+        // simultaneously (round-robin keeps them within one stage of
+        // each other at every p).
+        int extra = alloc - 6;
+        int turn = 0;
+        while (extra-- > 0) {
+            switch (policy) {
+              case ExpansionPolicy::Uniform:
+                switch (turn) {
+                  case 0:
+                    ++dec;
+                    break;
+                  case 1:
+                    ++cache;
+                    break;
+                  default:
+                    ++exec;
+                    break;
+                }
+                turn = (turn + 1) % 3;
+                break;
+              case ExpansionPolicy::DecodeHeavy:
+                ++dec;
+                break;
+              case ExpansionPolicy::CacheHeavy:
+                ++cache;
+                break;
+              case ExpansionPolicy::ExecHeavy:
+                ++exec;
+                break;
+            }
+        }
+        set(Unit::Decode, dec);
+        set(Unit::AgenQ, 1);
+        set(Unit::Agen, 1);
+        set(Unit::DCache, cache);
+        set(Unit::ExecQ, 1);
+        set(Unit::Fxu, exec);
+    } else {
+        // Contraction: first absorb the queue stages, then combine
+        // units onto shared cycles. Merge groups record which units
+        // share a cycle so the power model can charge max-of-group.
+        switch (alloc) {
+          case 5:
+            // ExecQ folds into the cache-access cycle.
+            set(Unit::Decode, 1);
+            set(Unit::AgenQ, 1);
+            set(Unit::Agen, 1);
+            set(Unit::DCache, 1);
+            set(Unit::ExecQ, 0);
+            set(Unit::Fxu, 1);
+            cfg.merge_groups = {{Unit::DCache, Unit::ExecQ}};
+            break;
+          case 4:
+            // Both queues fold away.
+            set(Unit::Decode, 1);
+            set(Unit::AgenQ, 0);
+            set(Unit::Agen, 1);
+            set(Unit::DCache, 1);
+            set(Unit::ExecQ, 0);
+            set(Unit::Fxu, 1);
+            cfg.merge_groups = {{Unit::Decode, Unit::AgenQ},
+                                {Unit::DCache, Unit::ExecQ}};
+            break;
+          case 3:
+            // Decode and address generation share a cycle.
+            set(Unit::Decode, 1);
+            set(Unit::AgenQ, 0);
+            set(Unit::Agen, 0);
+            set(Unit::DCache, 1);
+            set(Unit::ExecQ, 0);
+            set(Unit::Fxu, 1);
+            cfg.merge_groups = {{Unit::Decode, Unit::AgenQ, Unit::Agen},
+                                {Unit::DCache, Unit::ExecQ}};
+            break;
+          case 2:
+            // Two stages: decode+agen, then cache+execute.
+            set(Unit::Decode, 1);
+            set(Unit::AgenQ, 0);
+            set(Unit::Agen, 0);
+            set(Unit::DCache, 0);
+            set(Unit::ExecQ, 0);
+            set(Unit::Fxu, 1);
+            cfg.merge_groups = {{Unit::Decode, Unit::AgenQ, Unit::Agen},
+                                {Unit::Fxu, Unit::DCache, Unit::ExecQ}};
+            break;
+          default:
+            PP_PANIC("unhandled contraction depth ", alloc);
+        }
+    }
+
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace pipedepth

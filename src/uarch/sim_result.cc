@@ -1,0 +1,49 @@
+#include "uarch/sim_result.hh"
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+double
+SimResult::cpi() const
+{
+    PP_ASSERT(instructions > 0, "empty simulation");
+    return static_cast<double>(cycles) / static_cast<double>(instructions);
+}
+
+double
+SimResult::timeFo4() const
+{
+    return static_cast<double>(cycles) * cycle_time_fo4;
+}
+
+double
+SimResult::bips() const
+{
+    const double t = timeFo4();
+    PP_ASSERT(t > 0.0, "zero simulated time");
+    return static_cast<double>(instructions) / t;
+}
+
+std::uint64_t
+SimResult::hazardEvents() const
+{
+    return mispredict_events + load_interlock_events +
+           int_interlock_events;
+}
+
+std::uint64_t
+SimResult::hazardStallCycles() const
+{
+    return mispredict_stall_cycles + load_interlock_stall_cycles +
+           int_interlock_stall_cycles;
+}
+
+std::uint64_t
+SimResult::constantTimeStallCycles() const
+{
+    return icache_stall_cycles + dcache_stall_cycles;
+}
+
+} // namespace pipedepth

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Results of one cycle-accurate simulation run.
+ */
+
+#ifndef PIPEDEPTH_UARCH_SIM_RESULT_HH
+#define PIPEDEPTH_UARCH_SIM_RESULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "uarch/pipeline_config.hh"
+
+namespace pipedepth
+{
+
+/** Per-unit usage accounting (for the activity-based power model). */
+struct UnitStats
+{
+    int depth = 0;                 //!< stages of this unit
+    std::uint64_t active_cycles = 0; //!< distinct cycles doing work
+    std::uint64_t occupancy = 0;   //!< sum of per-op residency cycles
+    std::uint64_t ops = 0;         //!< operations processed
+};
+
+/** Everything measured during one run. */
+struct SimResult
+{
+    std::string workload;
+    int depth = 0;               //!< pipeline depth p
+    double cycle_time_fo4 = 0.0; //!< t_s at this depth
+
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+
+    /// @name Branch and cache behaviour
+    /// @{
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t icache_accesses = 0;
+    std::uint64_t icache_misses = 0;
+    std::uint64_t dcache_accesses = 0;
+    std::uint64_t dcache_misses = 0;
+    std::uint64_t l2_accesses = 0;
+    std::uint64_t l2_misses = 0;
+    /// @}
+
+    /// @name Hazard events (things that stalled the pipeline)
+    /// @{
+    std::uint64_t mispredict_events = 0;
+    std::uint64_t load_interlock_events = 0; //!< waits on load results
+    std::uint64_t fp_interlock_events = 0;   //!< waits on FP results
+    std::uint64_t int_interlock_events = 0;  //!< waits on int results
+    std::uint64_t dcache_miss_events = 0;    //!< bubbles behind misses
+    /// @}
+
+    /// @name Stall cycles attributed to each hazard class
+    ///
+    /// Measured as issue bubbles: cycles in which the in-order issue
+    /// point was idle, attributed to the constraint that bound the
+    /// next instruction to issue. Bubbles are disjoint by
+    /// construction, so these sums never exceed `cycles`.
+    /// @{
+    std::uint64_t mispredict_stall_cycles = 0;
+    std::uint64_t icache_stall_cycles = 0;
+    std::uint64_t dcache_stall_cycles = 0;
+    std::uint64_t load_interlock_stall_cycles = 0;
+    std::uint64_t fp_interlock_stall_cycles = 0;
+    std::uint64_t int_interlock_stall_cycles = 0;
+    /**
+     * Issue bubbles behind an occupied unpipelined unit (FPU or
+     * divider). Serialization of this kind reduces the effective
+     * superscalar degree rather than acting as a depth-scaled hazard
+     * (the paper's account of FP workloads).
+     */
+    std::uint64_t unit_busy_stall_cycles = 0;
+    /** Issue bubbles not attributable to a hazard (refill, startup). */
+    std::uint64_t other_stall_cycles = 0;
+    /// @}
+
+    std::array<UnitStats, kNumUnits> units{};
+
+    PipelineConfig config;
+
+    /** Cycles per instruction. */
+    double cpi() const;
+
+    /** Total execution time in FO4 units. */
+    double timeFo4() const;
+
+    /** Throughput in instructions per FO4-time (proportional to BIPS). */
+    double bips() const;
+
+    /**
+     * Depth-scaled hazard events: mispredictions plus load and
+     * integer interlocks, whose penalty grows with pipeline depth.
+     * This is the N_H the analytic model's gamma * N_H/N_I term
+     * describes. FP interlocks are excluded: waiting on an
+     * unpipelined FP unit is serialization (it lowers alpha), the
+     * paper's explanation for the deep FP optima of Fig. 7.
+     */
+    std::uint64_t hazardEvents() const;
+
+    /** Stall cycles of the depth-scaled hazards. */
+    std::uint64_t hazardStallCycles() const;
+
+    /**
+     * Stalls that are constant in absolute time, not in fraction of
+     * the pipeline (off-chip cache misses). Outside the analytic
+     * model; reported separately.
+     */
+    std::uint64_t constantTimeStallCycles() const;
+};
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_UARCH_SIM_RESULT_HH

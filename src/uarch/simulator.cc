@@ -1,0 +1,667 @@
+#include "uarch/simulator.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cache/cache.hh"
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+namespace
+{
+
+using Cycle = std::int64_t;
+
+/**
+ * Enforces a per-cycle width limit: at most `width` grants per cycle,
+ * given non-decreasing candidates. The stored value at the cursor is
+ * the grant time `width` grants ago; the new grant must be at least
+ * one cycle later.
+ */
+class SlotRing
+{
+  public:
+    explicit SlotRing(int width)
+        : times_(static_cast<std::size_t>(width), -1)
+    {
+        PP_ASSERT(width >= 1, "width must be positive");
+    }
+
+    Cycle
+    grant(Cycle candidate)
+    {
+        const Cycle t = std::max(candidate, times_[idx_] + 1);
+        times_[idx_] = t;
+        idx_ = (idx_ + 1) % times_.size();
+        return t;
+    }
+
+  private:
+    std::vector<Cycle> times_;
+    std::size_t idx_ = 0;
+};
+
+/**
+ * Enforces a buffer capacity: a new entry may not be admitted until
+ * the entry `capacity` admissions ago has left. Call entryOk() to get
+ * the earliest admission time, then push() the eventual departure
+ * time of the admitted entry.
+ */
+class CapacityRing
+{
+  public:
+    explicit CapacityRing(int capacity)
+        : exits_(static_cast<std::size_t>(capacity), -1)
+    {
+        PP_ASSERT(capacity >= 1, "capacity must be positive");
+    }
+
+    Cycle
+    entryOk(Cycle candidate) const
+    {
+        return std::max(candidate, exits_[idx_] + 1);
+    }
+
+    void
+    push(Cycle exit_time)
+    {
+        exits_[idx_] = exit_time;
+        idx_ = (idx_ + 1) % exits_.size();
+    }
+
+  private:
+    std::vector<Cycle> exits_;
+    std::size_t idx_ = 0;
+};
+
+/**
+ * Width enforcement for *out-of-order* issue: finds the earliest
+ * cycle at or after a candidate with a free issue port. Unlike
+ * SlotRing this accepts non-monotonic candidates; bookkeeping is a
+ * map of per-cycle issue counts, pruned behind a low-water mark.
+ */
+class IssuePorts
+{
+  public:
+    explicit IssuePorts(int width) : width_(width)
+    {
+        PP_ASSERT(width >= 1, "width must be positive");
+    }
+
+    Cycle
+    grant(Cycle candidate)
+    {
+        Cycle t = std::max<Cycle>(candidate, 0);
+        auto it = counts_.find(t);
+        while (it != counts_.end() && it->second >= width_) {
+            ++t;
+            it = counts_.find(t);
+        }
+        ++counts_[t];
+        return t;
+    }
+
+    /** Drop bookkeeping for cycles before @p cycle. */
+    void
+    prune(Cycle cycle)
+    {
+        counts_.erase(counts_.begin(), counts_.lower_bound(cycle));
+    }
+
+  private:
+    int width_;
+    std::map<Cycle, int> counts_;
+};
+
+/**
+ * Accumulates the union of activity intervals of one unit. Exact for
+ * non-decreasing interval starts (true for every pipeline unit here
+ * except Exec Q entries, where the approximation slightly undercounts
+ * overlapped residency).
+ */
+struct Activity
+{
+    Cycle last_end = 0;
+    std::uint64_t active = 0;
+    std::uint64_t occupancy = 0;
+    std::uint64_t ops = 0;
+
+    void
+    add(Cycle start, Cycle end)
+    {
+        if (end <= start)
+            return;
+        ++ops;
+        occupancy += static_cast<std::uint64_t>(end - start);
+        const Cycle s = std::max(start, last_end);
+        if (end > s) {
+            active += static_cast<std::uint64_t>(end - s);
+            last_end = end;
+        }
+    }
+};
+
+/**
+ * Bounded table of the most recent store per 8-byte dword, for
+ * store-to-load forwarding when memory dependences are modeled.
+ * Open-addressed overwrite-on-collision: misses only ever make a
+ * dependence invisible (never invent one), which is the safe
+ * direction for a timing model.
+ */
+class StoreTable
+{
+  public:
+    void
+    recordStore(std::uint64_t addr, Cycle data_ready)
+    {
+        Entry &e = entries_[index(addr)];
+        e.dword = addr >> 3;
+        e.data_ready = data_ready;
+        e.valid = true;
+    }
+
+    /** Data-ready time of the latest store to this dword, or -1. */
+    Cycle
+    lastStore(std::uint64_t addr) const
+    {
+        const Entry &e = entries_[index(addr)];
+        if (e.valid && e.dword == (addr >> 3))
+            return e.data_ready;
+        return -1;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t dword = 0;
+        Cycle data_ready = 0;
+        bool valid = false;
+    };
+
+    static std::size_t
+    index(std::uint64_t addr)
+    {
+        return (addr >> 3) & (kSize - 1);
+    }
+
+    static constexpr std::size_t kSize = 4096;
+    std::array<Entry, kSize> entries_{};
+};
+
+/** What kind of producer last wrote a register (for attribution). */
+enum class ProducerKind : std::uint8_t
+{
+    None,
+    Load,
+    Fp,
+    Int,
+};
+
+} // namespace
+
+SimResult
+simulate(const Trace &trace, const PipelineConfig &config)
+{
+    config.validate();
+    if (trace.empty())
+        PP_FATAL("cannot simulate an empty trace");
+
+    const int dD = config.unit_depth[static_cast<std::size_t>(
+        Unit::Decode)];
+    const int dRN = config.unit_depth[static_cast<std::size_t>(
+        Unit::Rename)];
+    const int dAQ = config.unit_depth[static_cast<std::size_t>(
+        Unit::AgenQ)];
+    const int dA = config.unit_depth[static_cast<std::size_t>(
+        Unit::Agen)];
+    const int dC = config.unit_depth[static_cast<std::size_t>(
+        Unit::DCache)];
+    const int dEQ = config.unit_depth[static_cast<std::size_t>(
+        Unit::ExecQ)];
+    const int dE = config.unit_depth[static_cast<std::size_t>(Unit::Fxu)];
+    const int l2_penalty = config.l2PenaltyCycles();
+    const int mem_penalty = config.missPenaltyCycles();
+
+    Cache icache(config.icache);
+    Cache dcache(config.dcache);
+    Cache l2cache(config.l2cache);
+    auto predictor = makePredictor(config.predictor);
+
+    SlotRing fetch_slots(config.width);
+    SlotRing decode_slots(config.width);
+    SlotRing agen_slots(config.agen_width);
+    SlotRing exec_slots(config.width);
+    IssuePorts ooo_ports(config.width); // out-of-order issue only
+    SlotRing complete_slots(config.width);
+    SlotRing retire_slots(config.width);
+
+    CapacityRing fetch_buffer(config.fetch_buffer);
+    CapacityRing agen_queue(config.agen_queue);
+    CapacityRing exec_queue(config.exec_queue);
+    CapacityRing inflight(config.max_inflight);
+
+    std::array<Cycle, kNumRegs> reg_ready{};
+    std::array<ProducerKind, kNumRegs> reg_producer{};
+    std::array<bool, kNumRegs> reg_missed{};
+    reg_ready.fill(0);
+    reg_producer.fill(ProducerKind::None);
+    reg_missed.fill(false);
+
+    std::array<Activity, kNumUnits> activity{};
+    auto act = [&activity](Unit u) -> Activity & {
+        return activity[static_cast<std::size_t>(u)];
+    };
+
+    SimResult res;
+    res.workload = trace.name;
+    res.depth = config.depth;
+    res.cycle_time_fo4 = config.cycleTime();
+    res.config = config;
+
+    // Penalty beyond the L1 pipe for a miss: L2 hit latency, plus
+    // memory on an L2 miss. Both are constant in absolute time and
+    // therefore grow in cycles as the pipeline deepens.
+    auto miss_penalty_for = [&](std::uint64_t addr) {
+        ++res.l2_accesses;
+        if (l2cache.access(addr))
+            return l2_penalty;
+        ++res.l2_misses;
+        return l2_penalty + mem_penalty;
+    };
+
+    StoreTable store_table; // store-to-load forwarding (optional)
+
+    Cycle fetch_seq = 0;     //!< earliest fetch for the next instruction
+    Cycle decode_seq = 0;
+    Cycle agen_seq = 0;
+    Cycle exec_seq = 0;
+    Cycle complete_seq = 0;
+    Cycle retire_seq = 0;
+    Cycle redirect_time = 0; //!< younger fetches blocked until here
+    Cycle fpu_busy = 0;      //!< unpipelined FPU free time
+    Cycle div_busy = 0;      //!< unpipelined integer divider free time
+    Cycle last_retire = 0;
+
+    /**
+     * Why an instruction is late. Stall cycles are measured as issue
+     * bubbles at the (in-order) issue point and attributed to the
+     * cause that bound the next instruction to issue, so the per-cause
+     * totals are disjoint and sum to at most the cycle count.
+     */
+    enum class Cause : std::uint8_t
+    {
+        None,
+        Mispredict,
+        ICache,
+        DCacheMiss,
+        DepLoad,
+        DepFp,
+        DepInt,
+        UnitBusy,
+    };
+
+    // Classify a wait on a register by its producer; a load that
+    // missed the D-cache is a constant-time memory stall, not a
+    // depth-scaled interlock.
+    auto dep_cause = [](ProducerKind kind, bool missed) {
+        switch (kind) {
+          case ProducerKind::Load:
+            return missed ? Cause::DCacheMiss : Cause::DepLoad;
+          case ProducerKind::Fp:
+            return Cause::DepFp;
+          default:
+            return Cause::DepInt;
+        }
+    };
+
+    // Charge an issue bubble to a cause.
+    auto charge = [&res](Cause cause, Cycle bubble) {
+        if (bubble <= 0)
+            return;
+        const auto b = static_cast<std::uint64_t>(bubble);
+        switch (cause) {
+          case Cause::Mispredict:
+            res.mispredict_stall_cycles += b;
+            break;
+          case Cause::ICache:
+            res.icache_stall_cycles += b;
+            break;
+          case Cause::DCacheMiss:
+            ++res.dcache_miss_events;
+            res.dcache_stall_cycles += b;
+            break;
+          case Cause::DepLoad:
+            ++res.load_interlock_events;
+            res.load_interlock_stall_cycles += b;
+            break;
+          case Cause::DepFp:
+            ++res.fp_interlock_events;
+            res.fp_interlock_stall_cycles += b;
+            break;
+          case Cause::DepInt:
+            ++res.int_interlock_events;
+            res.int_interlock_stall_cycles += b;
+            break;
+          case Cause::UnitBusy:
+            res.unit_busy_stall_cycles += b;
+            break;
+          case Cause::None:
+            res.other_stall_cycles += b;
+            break;
+        }
+    };
+
+    // Warm the predictor and cache hierarchy (see
+    // PipelineConfig::warmup_instructions).
+    const std::size_t warm =
+        std::min(config.warmup_instructions, trace.size());
+    for (std::size_t i = 0; i < warm; ++i) {
+        const TraceRecord &r = trace.records[i];
+        if (r.op == OpClass::BranchCond)
+            predictor->predictAndTrain(r.pc, r.taken);
+        if (!icache.access(r.pc))
+            l2cache.access(r.pc);
+        if (opTraits(r.op).is_mem && !dcache.access(r.mem_addr))
+            l2cache.access(r.mem_addr);
+    }
+
+    for (const TraceRecord &r : trace.records) {
+        const OpTraits &t = opTraits(r.op);
+        // The strongest reason this instruction is late on its way to
+        // issue (used when the issue bubble is bound by arrival).
+        Cause path_cause = Cause::None;
+
+        // ---- Fetch ----------------------------------------------------
+        Cycle f_base = fetch_seq;
+        f_base = fetch_buffer.entryOk(f_base);
+        f_base = inflight.entryOk(f_base);
+        if (redirect_time > f_base) {
+            f_base = redirect_time;
+            path_cause = Cause::Mispredict;
+        }
+        Cycle f = fetch_slots.grant(f_base);
+        ++res.icache_accesses;
+        if (!icache.access(r.pc)) {
+            ++res.icache_misses;
+            f += miss_penalty_for(r.pc);
+            path_cause = Cause::ICache;
+        }
+        act(Unit::Fetch).add(f, f + 1);
+        fetch_seq = f;
+
+        // ---- Decode (+ Rename when present) ---------------------------
+        const Cycle d =
+            decode_slots.grant(std::max(f + 1, decode_seq));
+        decode_seq = d;
+        const Cycle de = d + dD + dRN;
+
+        // ---- Dispatch with queue backpressure -------------------------
+        Cycle dispatch;
+        if (t.is_mem) {
+            dispatch = agen_queue.entryOk(de);
+        } else {
+            dispatch = exec_queue.entryOk(de);
+        }
+        act(Unit::Decode).add(d, std::max(de, dispatch));
+        if (dRN > 0)
+            act(Unit::Rename).add(d + dD, de);
+
+        Cycle exec_arrival; //!< when the op reaches the Exec Q exit
+        Cycle cache_done = 0;
+        bool dcache_missed = false;
+
+        if (t.is_mem) {
+            // ---- Agen Q -> Agen -> Cache Access -----------------------
+            const Cycle base_ready = r.src3 != kNoReg
+                                         ? reg_ready[r.src3]
+                                         : 0;
+            Cycle a_cand = std::max(dispatch + dAQ, agen_seq);
+            if (base_ready > a_cand) {
+                a_cand = base_ready;
+                if (r.src3 != kNoReg)
+                    path_cause = dep_cause(reg_producer[r.src3],
+                                           reg_missed[r.src3]);
+            }
+            const Cycle aissue = agen_slots.grant(a_cand);
+            agen_seq = aissue;
+            agen_queue.push(aissue);
+            act(Unit::AgenQ).add(dispatch, aissue);
+            const Cycle agen_done = aissue + dA;
+            if (dA > 0) {
+                act(Unit::Agen).add(aissue, agen_done);
+            } else {
+                // Agen merged into decode: logic shares those cycles.
+                act(Unit::Agen).add(d, de);
+            }
+
+            // Stores must have their data by the cache access.
+            Cycle cache_start = agen_done;
+            if (t.is_store && r.src1 != kNoReg &&
+                reg_ready[r.src1] > cache_start) {
+                cache_start = reg_ready[r.src1];
+                path_cause = dep_cause(reg_producer[r.src1],
+                                       reg_missed[r.src1]);
+            }
+
+            ++res.dcache_accesses;
+            const bool hit = dcache.access(r.mem_addr);
+            dcache_missed = !hit;
+            if (dcache_missed)
+                ++res.dcache_misses;
+            cache_done = cache_start + dC +
+                         (hit ? 0 : miss_penalty_for(r.mem_addr));
+
+            if (config.model_memory_dependences) {
+                if (t.is_store) {
+                    // Data becomes forwardable once the store reaches
+                    // the cache stage with its operand in hand.
+                    store_table.recordStore(r.mem_addr, cache_start);
+                } else if (t.is_load) {
+                    // A load hitting a recent store's dword takes the
+                    // forwarding path instead of the memory path: one
+                    // cycle after the store data is ready, but never
+                    // earlier than the load's own pipe stage.
+                    const Cycle st = store_table.lastStore(r.mem_addr);
+                    if (st >= 0) {
+                        const Cycle fwd =
+                            std::max(cache_start + dC, st + 1);
+                        if (fwd != cache_done) {
+                            cache_done = fwd;
+                            path_cause = Cause::DepLoad;
+                        }
+                        dcache_missed = false; // forwarded, not memory
+                    }
+                }
+            }
+            if (dcache_missed) {
+                // A missing load reaches issue late; charge the
+                // resulting bubble to the memory (constant-time)
+                // stall class.
+                path_cause = Cause::DCacheMiss;
+            }
+            if (dC > 0) {
+                act(Unit::DCache).add(cache_start, cache_start + dC);
+            }
+            exec_arrival = cache_done + dEQ;
+        } else {
+            exec_arrival = dispatch + dEQ;
+        }
+
+        // ---- Execute ---------------------------------------------------
+        Cycle ecomp;
+        if (t.is_store || r.op == OpClass::Load) {
+            // Stores and pure loads complete at the cache; they do
+            // not pass the execution pipe (only RX *ALU* ops do).
+            // Load data forwards to consumers straight from the
+            // cache.
+            ecomp = cache_done;
+            if (r.op == OpClass::Load && r.dst != kNoReg) {
+                reg_ready[r.dst] = cache_done + 1;
+                reg_producer[r.dst] = ProducerKind::Load;
+                reg_missed[r.dst] = dcache_missed;
+            }
+        } else {
+            // Operand readiness at issue (program-order issue).
+            Cycle ready = 0;
+            ProducerKind binding = ProducerKind::None;
+            bool binding_missed = false;
+            auto need = [&](std::uint8_t reg) {
+                if (reg == kNoReg)
+                    return;
+                if (reg_ready[reg] > ready) {
+                    ready = reg_ready[reg];
+                    binding = reg_producer[reg];
+                    binding_missed = reg_missed[reg];
+                }
+            };
+            need(r.src1);
+            need(r.src2);
+
+            Cycle busy = 0;
+            if (t.is_fp)
+                busy = fpu_busy;
+            if (r.op == OpClass::IntDiv)
+                busy = std::max(busy, div_busy);
+
+            Cycle eissue;
+            if (config.in_order) {
+                const Cycle prev_issue = exec_seq;
+                const Cycle cand =
+                    std::max({ready, busy, exec_arrival, exec_seq});
+                eissue = exec_slots.grant(cand);
+                exec_seq = eissue;
+
+                // Issue bubble: idle cycles at the in-order issue
+                // point before this instruction went. Attribute to
+                // the binding constraint; ties prefer the non-hazard
+                // explanation.
+                const Cycle bubble = eissue - prev_issue - 1;
+                if (bubble > 0) {
+                    Cause cause = Cause::None;
+                    if (exec_arrival >= std::max(ready, busy)) {
+                        cause = path_cause;
+                    } else if (ready >= busy) {
+                        cause = dep_cause(binding, binding_missed);
+                    } else {
+                        cause = Cause::UnitBusy;
+                    }
+                    charge(cause, bubble);
+                }
+            } else {
+                // Out-of-order: issue as soon as operands and a port
+                // are available; program order does not gate issue.
+                // The window is still bounded by max_inflight (the
+                // ROB) and completion remains in order. Stall-cause
+                // attribution is an in-order concept, so the
+                // depth-scaled stall counters stay untouched here;
+                // extraction from out-of-order runs instead reflects
+                // the higher effective alpha directly.
+                const Cycle cand =
+                    std::max({ready, busy, exec_arrival});
+                eissue = ooo_ports.grant(cand);
+                if (res.instructions % 4096 == 0) {
+                    // Cheap low-water pruning: nothing can issue
+                    // before the oldest in-flight instruction fetched.
+                    ooo_ports.prune(eissue - 8 *
+                                    static_cast<Cycle>(
+                                        config.max_inflight));
+                }
+                exec_seq = std::max(exec_seq, eissue);
+            }
+            exec_queue.push(eissue);
+            const Cycle entry = t.is_mem ? cache_done : dispatch;
+            act(Unit::ExecQ).add(entry, eissue);
+
+            const int latency = dE + (t.exec_latency - 1);
+            ecomp = eissue + latency;
+            // Dependents of simple pipelined integer ops see the
+            // forwarded result early (see PipelineConfig::fwd_frac);
+            // everything else pays the full path.
+            Cycle result_ready = ecomp;
+            if (!t.is_fp && !t.is_mem && !t.unpipelined) {
+                result_ready =
+                    eissue + config.forwardLatency(dE) +
+                    (t.exec_latency - 1);
+            }
+            if (t.is_fp) {
+                act(Unit::Fpu).add(eissue, ecomp);
+                if (t.unpipelined)
+                    fpu_busy = ecomp;
+            } else {
+                act(Unit::Fxu).add(eissue, ecomp);
+                if (dC == 0 && t.is_mem) {
+                    // Cache access merged into the execute cycle.
+                    act(Unit::DCache).add(eissue, ecomp);
+                }
+                if (t.unpipelined)
+                    div_busy = ecomp;
+            }
+
+            if (r.dst != kNoReg) {
+                reg_ready[r.dst] = result_ready;
+                reg_producer[r.dst] = t.is_load ? ProducerKind::Load
+                                     : t.is_fp ? ProducerKind::Fp
+                                               : ProducerKind::Int;
+                reg_missed[r.dst] = t.is_load && dcache_missed;
+            }
+        }
+
+        // ---- Branch resolution ------------------------------------------
+        if (t.is_branch) {
+            ++res.branches;
+            bool correct = true;
+            if (r.op == OpClass::BranchCond) {
+                correct = predictor->predictAndTrain(r.pc, r.taken);
+            }
+            if (!correct) {
+                ++res.mispredict_events;
+                ++res.mispredicts;
+                redirect_time = std::max(redirect_time, ecomp + 1);
+            } else if (r.taken) {
+                // Correctly predicted taken branches still break the
+                // fetch group (one-bubble redirect through the BTB).
+                fetch_seq =
+                    std::max(fetch_seq,
+                             f + config.takenBranchBubble());
+            }
+        }
+
+        // ---- Complete and retire (in order) ------------------------------
+        const Cycle comp = complete_slots.grant(
+            std::max(ecomp + 1, complete_seq));
+        complete_seq = comp;
+        act(Unit::Complete).add(comp, comp + 1);
+
+        const Cycle ret =
+            retire_slots.grant(std::max(comp + 1, retire_seq));
+        retire_seq = ret;
+        act(Unit::Retire).add(ret, ret + 1);
+
+        fetch_buffer.push(d);
+        inflight.push(ret);
+        last_retire = std::max(last_retire, ret);
+        ++res.instructions;
+    }
+
+    res.cycles = static_cast<std::uint64_t>(last_retire + 1);
+    for (std::size_t u = 0; u < kNumUnits; ++u) {
+        res.units[u].depth = config.unit_depth[u];
+        res.units[u].active_cycles = activity[u].active;
+        res.units[u].occupancy = activity[u].occupancy;
+        res.units[u].ops = activity[u].ops;
+    }
+    return res;
+}
+
+SimResult
+simulateAtDepth(const Trace &trace, int depth, bool in_order)
+{
+    return simulate(trace, PipelineConfig::forDepth(depth, in_order));
+}
+
+} // namespace pipedepth

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the branch predictors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+#include "common/rng.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(AlwaysTaken, PredictsTaken)
+{
+    AlwaysTakenPredictor p;
+    EXPECT_TRUE(p.predict(0x400000));
+    p.predictAndTrain(0x400000, false);
+    EXPECT_TRUE(p.predict(0x400000)); // never learns
+    EXPECT_EQ(p.mispredicts, 1u);
+    EXPECT_EQ(p.lookups, 1u);
+}
+
+TEST(Bimodal, LearnsStrongBias)
+{
+    BimodalPredictor p;
+    int misses = 0;
+    for (int i = 0; i < 1000; ++i)
+        misses += !p.predictAndTrain(0x400100, true);
+    // After warmup it should predict taken every time.
+    EXPECT_LT(misses, 5);
+}
+
+TEST(Bimodal, HysteresisSurvivesSingleFlip)
+{
+    BimodalPredictor p;
+    for (int i = 0; i < 10; ++i)
+        p.predictAndTrain(0x400100, true);
+    // One not-taken outcome must not flip the prediction.
+    p.predictAndTrain(0x400100, false);
+    EXPECT_TRUE(p.predict(0x400100));
+}
+
+TEST(Bimodal, SeparatesDistinctBranches)
+{
+    BimodalPredictor p(12);
+    for (int i = 0; i < 100; ++i) {
+        p.predictAndTrain(0x400100, true);
+        p.predictAndTrain(0x400200, false);
+    }
+    EXPECT_TRUE(p.predict(0x400100));
+    EXPECT_FALSE(p.predict(0x400200));
+}
+
+TEST(Gshare, LearnsAlternatingPattern)
+{
+    // A strict alternation is invisible to bimodal but trivial with
+    // global history.
+    GsharePredictor g;
+    BimodalPredictor b;
+    int g_miss = 0, b_miss = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool taken = (i % 2) == 0;
+        g_miss += !g.predictAndTrain(0x400100, taken);
+        b_miss += !b.predictAndTrain(0x400100, taken);
+    }
+    EXPECT_LT(g_miss, 100);
+    EXPECT_GT(b_miss, 1000);
+}
+
+TEST(Gshare, LearnsPeriodicPattern)
+{
+    GsharePredictor g(13, 10);
+    int miss = 0;
+    for (int i = 0; i < 6000; ++i) {
+        const bool taken = (i % 5) < 3;
+        miss += !g.predictAndTrain(0x400100, taken);
+    }
+    // Should converge well below the bimodal floor of 2/5.
+    EXPECT_LT(miss / 6000.0, 0.1);
+}
+
+TEST(Predictors, RandomStreamNearHalf)
+{
+    Rng rng(5);
+    GsharePredictor g;
+    int miss = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        miss += !g.predictAndTrain(0x400300, rng.bernoulli(0.5));
+    EXPECT_NEAR(miss / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(Predictors, MispredictRateAccounting)
+{
+    BimodalPredictor p;
+    for (int i = 0; i < 10; ++i)
+        p.predictAndTrain(0x400100, true);
+    EXPECT_DOUBLE_EQ(p.mispredictRate(),
+                     static_cast<double>(p.mispredicts) / p.lookups);
+}
+
+TEST(Predictors, FactoryProducesCorrectKinds)
+{
+    EXPECT_EQ(makePredictor(PredictorKind::AlwaysTaken)->name(),
+              "always-taken");
+    EXPECT_EQ(makePredictor(PredictorKind::Bimodal)->name(), "bimodal");
+    EXPECT_EQ(makePredictor(PredictorKind::Gshare)->name(), "gshare");
+}
+
+TEST(PredictorsDeath, RejectsBadGeometry)
+{
+    EXPECT_DEATH(BimodalPredictor(1), "table size");
+    EXPECT_DEATH(GsharePredictor(13, 20), "history");
+}
+
+} // namespace
+} // namespace pipedepth

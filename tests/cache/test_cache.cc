@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c({1024, 64, 2});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1038)); // same line
+    EXPECT_EQ(c.accesses(), 3u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2-way, 64 B lines, 8 sets. Three lines mapping to set 0.
+    Cache c({1024, 64, 2});
+    const std::uint64_t a = 0 * 512, b = 1 * 512, d = 2 * 512;
+    c.access(a);
+    c.access(b);
+    c.access(a);      // a is MRU
+    c.access(d);      // evicts b (LRU)
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, AssociativityHoldsConflicts)
+{
+    Cache c({4096, 64, 4});
+    const std::uint64_t set_stride = 4096 / 4; // lines per way apart
+    for (int i = 0; i < 4; ++i)
+        c.access(i * set_stride);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(c.probe(i * set_stride)) << i;
+    // A fifth conflicting line evicts exactly one of them.
+    c.access(4 * set_stride);
+    int resident = 0;
+    for (int i = 0; i <= 4; ++i)
+        resident += c.probe(i * set_stride);
+    EXPECT_EQ(resident, 4);
+}
+
+TEST(Cache, ProbeDoesNotTouchLru)
+{
+    Cache c({1024, 64, 2});
+    const std::uint64_t a = 0 * 512, b = 1 * 512, d = 2 * 512;
+    c.access(a);
+    c.access(b);
+    c.probe(a); // must NOT refresh a
+    // LRU is still a (access order a then b), so d evicts a.
+    c.access(d);
+    EXPECT_FALSE(c.probe(a));
+    EXPECT_TRUE(c.probe(b));
+}
+
+TEST(Cache, FlushDropsContents)
+{
+    Cache c({1024, 64, 2});
+    c.access(0x2000);
+    EXPECT_TRUE(c.probe(0x2000));
+    c.flush();
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_FALSE(c.access(0x2000));
+}
+
+TEST(Cache, SequentialStreamMissRate)
+{
+    // Stride-8 through a huge range: one miss per 64 B line = 1/8.
+    Cache c({32 * 1024, 64, 4});
+    const int n = 64 * 1024;
+    for (int i = 0; i < n; ++i)
+        c.access(0x100000 + static_cast<std::uint64_t>(i) * 8);
+    EXPECT_NEAR(c.missRate(), 1.0 / 8.0, 0.01);
+}
+
+TEST(Cache, WorkingSetFitsAfterWarmup)
+{
+    Cache c({64 * 1024, 64, 4});
+    // Touch 32 KiB twice; second pass must be all hits.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (int i = 0; i < 512; ++i)
+            c.access(0x200000 + static_cast<std::uint64_t>(i) * 64);
+    }
+    EXPECT_EQ(c.misses(), 512u);
+    EXPECT_EQ(c.accesses(), 1024u);
+}
+
+TEST(Cache, DirectMappedConflictThrash)
+{
+    Cache c({1024, 64, 1});
+    // Two lines mapping to the same set alternate: always miss.
+    for (int i = 0; i < 20; ++i) {
+        c.access(0x0);
+        c.access(1024);
+    }
+    EXPECT_EQ(c.misses(), 40u);
+}
+
+TEST(CacheDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(Cache({1000, 64, 2}), ::testing::ExitedWithCode(1),
+                "power of two");
+    EXPECT_EXIT(Cache({1024, 60, 2}), ::testing::ExitedWithCode(1),
+                "line size");
+    EXPECT_EXIT(Cache({1024, 64, 0}), ::testing::ExitedWithCode(1),
+                "associativity");
+    EXPECT_EXIT(Cache({64, 64, 4}), ::testing::ExitedWithCode(1),
+                "smaller than one set");
+}
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for theory-parameter extraction from simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "calib/extract.hh"
+#include "core/performance_model.hh"
+#include "uarch/simulator.hh"
+#include "workloads/catalog.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+SimResult
+referenceRun(const std::string &name)
+{
+    const Trace t = findWorkload(name).makeTrace(60000);
+    PipelineConfig cfg = PipelineConfig::forDepth(8);
+    cfg.warmup_instructions = 30000;
+    return simulate(t, cfg);
+}
+
+TEST(Extract, ParametersInPhysicalRanges)
+{
+    const MachineParams mp = extractMachineParams(referenceRun("gcc95"));
+    EXPECT_GE(mp.alpha, 1.0);
+    EXPECT_LE(mp.alpha, 4.0);
+    EXPECT_GT(mp.gamma, 0.0);
+    EXPECT_LE(mp.gamma, 1.0);
+    EXPECT_GT(mp.hazard_ratio, 0.0);
+    EXPECT_LT(mp.hazard_ratio, 1.0);
+    EXPECT_DOUBLE_EQ(mp.t_p, 140.0);
+    EXPECT_DOUBLE_EQ(mp.t_o, 2.5);
+    mp.validate();
+}
+
+TEST(Extract, FpWorkloadLessSuperscalarThanSpecInt)
+{
+    // The paper's account of FP workloads: unpipelined FP execution
+    // "greatly reduces the degree of superscalar processing". The
+    // extraction classifies FP serialization as utilization loss, so
+    // alpha must come out lower than for integer codes.
+    const MachineParams fp = extractMachineParams(referenceRun("swim"));
+    const MachineParams si = extractMachineParams(referenceRun("gzip00"));
+    EXPECT_LT(fp.alpha, si.alpha);
+}
+
+TEST(Extract, LegacyLessSuperscalarThanSpecInt)
+{
+    const MachineParams lg = extractMachineParams(referenceRun("db1"));
+    const MachineParams si = extractMachineParams(referenceRun("gzip00"));
+    EXPECT_LT(lg.alpha, si.alpha);
+}
+
+TEST(Extract, PredictsReasonablePerformanceOptimum)
+{
+    // The paper's procedure: parameters from ONE run predict the whole
+    // curve. The performance-only optimum implied by the extraction
+    // must be in the plausible band for an integer workload.
+    const MachineParams mp =
+        extractMachineParams(referenceRun("vortex95"));
+    const PerformanceModel perf(mp);
+    const double p = perf.performanceOnlyOptimum();
+    EXPECT_GT(p, 8.0);
+    EXPECT_LT(p, 40.0);
+}
+
+TEST(ExtractDeath, EmptyResultIsRejected)
+{
+    SimResult empty;
+    EXPECT_DEATH(extractMachineParams(empty), "empty");
+}
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tests for the fatal/panic/assert helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(PP_PANIC("boom ", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(PP_FATAL("bad input ", 7), ::testing::ExitedWithCode(1),
+                "fatal: bad input 7");
+}
+
+TEST(LoggingDeath, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(PP_ASSERT(1 == 2, "math broke"),
+                 "assertion failed: 1 == 2 math broke");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    PP_ASSERT(2 + 2 == 4, "never");
+    SUCCEED();
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    PP_WARN("just a warning ", 1);
+    PP_INFORM("status ", 2);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for parallelMap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "common/parallel.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(ParallelMap, PreservesOrder)
+{
+    std::vector<int> items(500);
+    std::iota(items.begin(), items.end(), 0);
+    const auto out =
+        parallelMap(items, [](int v) { return v * v; });
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ParallelMap, EmptyInput)
+{
+    std::vector<int> items;
+    const auto out = parallelMap(items, [](int v) { return v; });
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelMap, SingleThreadPathMatches)
+{
+    std::vector<int> items{3, 1, 4, 1, 5};
+    const auto a = parallelMap(items, [](int v) { return v + 1; }, 1);
+    const auto b = parallelMap(items, [](int v) { return v + 1; }, 4);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ParallelMap, PropagatesExceptions)
+{
+    std::vector<int> items(64);
+    std::iota(items.begin(), items.end(), 0);
+    EXPECT_THROW(
+        parallelMap(items,
+                    [](int v) {
+                        if (v == 13)
+                            throw std::runtime_error("unlucky");
+                        return v;
+                    }),
+        std::runtime_error);
+}
+
+TEST(ParallelMap, MoreThreadsThanItems)
+{
+    std::vector<int> items{1, 2};
+    const auto out =
+        parallelMap(items, [](int v) { return v * 10; }, 16);
+    EXPECT_EQ(out, (std::vector<int>{10, 20}));
+}
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the table/CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(TableWriter, CsvOutput)
+{
+    TableWriter t(TableWriter::Style::Csv);
+    t.addColumn("p", 0);
+    t.addColumn("metric", 3);
+    t.beginRow();
+    t.cell(7);
+    t.cell(0.12345);
+    t.beginRow();
+    t.cell(8);
+    t.cell(2.0);
+
+    std::ostringstream os;
+    t.render(os);
+    EXPECT_EQ(os.str(), "p,metric\n7,0.123\n8,2.000\n");
+}
+
+TEST(TableWriter, AlignedOutputHasHeaderRule)
+{
+    TableWriter t(TableWriter::Style::Aligned);
+    t.addColumn("name");
+    t.addColumn("x", 1);
+    t.beginRow();
+    t.cell("longvaluehere");
+    t.cell(1.25);
+
+    std::ostringstream os;
+    t.render(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longvaluehere"), std::string::npos);
+    EXPECT_NE(out.find("1.2"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableWriter, AlignedColumnsLineUp)
+{
+    TableWriter t(TableWriter::Style::Aligned);
+    t.addColumn("a");
+    t.addColumn("b");
+    t.beginRow();
+    t.cell("xx");
+    t.cell("yy");
+    t.beginRow();
+    t.cell("x");
+    t.cell("y");
+
+    std::ostringstream os;
+    t.render(os);
+    std::istringstream is(os.str());
+    std::string header, rule, r1, r2;
+    std::getline(is, header);
+    std::getline(is, rule);
+    std::getline(is, r1);
+    std::getline(is, r2);
+    EXPECT_EQ(r1.size(), r2.size());
+    EXPECT_EQ(rule.size(), r1.size());
+}
+
+TEST(TableWriter, PrecisionPerColumn)
+{
+    TableWriter t(TableWriter::Style::Csv);
+    t.addColumn("lo", 1);
+    t.addColumn("hi", 5);
+    t.beginRow();
+    t.cell(3.14159);
+    t.cell(3.14159);
+    std::ostringstream os;
+    t.render(os);
+    EXPECT_NE(os.str().find("3.1,3.14159"), std::string::npos);
+}
+
+TEST(TableWriter, RowCount)
+{
+    TableWriter t;
+    t.addColumn("x");
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.beginRow();
+    t.cell(1);
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(TableWriterDeath, OverflowingRowAborts)
+{
+    TableWriter t;
+    t.addColumn("only");
+    t.beginRow();
+    t.cell(1);
+    EXPECT_DEATH(t.cell(2), "row overflow");
+}
+
+TEST(TableWriterDeath, IncompleteRowAbortsOnNextRow)
+{
+    TableWriter t;
+    t.addColumn("a");
+    t.addColumn("b");
+    t.beginRow();
+    t.cell(1);
+    EXPECT_DEATH(t.beginRow(), "incomplete");
+}
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for FO4 unit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(Units, CycleTimeMatchesPaperDesignPoints)
+{
+    // The paper's technology: t_p = 140 FO4, t_o = 2.5 FO4.
+    // "a 7 stage pipeline ... a 22.5 FO4 design point"
+    EXPECT_NEAR(cycleTimeFo4(7, 140.0, 2.5), 22.5, 1e-12);
+    // "the optimum for this workload gives a pipeline depth of about
+    // 20 stages, corresponding to a design of 9.5 FO4"
+    EXPECT_NEAR(cycleTimeFo4(20, 140.0, 2.5), 9.5, 1e-12);
+    // "22 stages, for a cycle time of 8.9 FO4"
+    EXPECT_NEAR(cycleTimeFo4(22, 140.0, 2.5), 8.863, 1e-3);
+}
+
+TEST(Units, StagesForCycleTimeInverts)
+{
+    for (double p : {2.0, 7.0, 8.0, 22.0}) {
+        const double fo4 = cycleTimeFo4(p, 140.0, 2.5);
+        EXPECT_NEAR(stagesForCycleTime(fo4, 140.0, 2.5), p, 1e-9);
+    }
+}
+
+TEST(Units, FrequencyIsInverseCycleTime)
+{
+    EXPECT_DOUBLE_EQ(frequencyPerFo4(10, 140.0, 2.5),
+                     1.0 / cycleTimeFo4(10, 140.0, 2.5));
+}
+
+TEST(Units, FrequencyGhzConversion)
+{
+    // 20 FO4 cycle at 10 ps/FO4 = 200 ps period = 5 GHz.
+    const double per_fo4 = 1.0 / 20.0;
+    EXPECT_NEAR(frequencyGhz(per_fo4, 10.0), 5.0, 1e-12);
+}
+
+TEST(UnitsDeath, InvalidArguments)
+{
+    EXPECT_DEATH(cycleTimeFo4(0.0, 140.0, 2.5), "positive");
+    EXPECT_DEATH(stagesForCycleTime(2.0, 140.0, 2.5), "latch overhead");
+}
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the BIPS^m/W metric (Eq. 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metric.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+MachineParams
+machine()
+{
+    return MachineParams{};
+}
+
+PowerParams
+power()
+{
+    PowerParams pw;
+    pw.p_l = 0.01;
+    return pw;
+}
+
+TEST(Metric, EqualsBipsToTheMOverWatts)
+{
+    for (double m : {1.0, 2.0, 3.0}) {
+        const PowerPerformanceMetric metric(machine(), power(), m);
+        const PerformanceModel perf(machine());
+        const PowerModel pw(machine(), power());
+        for (double p : {2.0, 8.0, 20.0}) {
+            const double expect =
+                std::pow(perf.throughput(p), m) / pw.totalPower(p);
+            EXPECT_NEAR(metric(p), expect, expect * 1e-12)
+                << "m=" << m << " p=" << p;
+        }
+    }
+}
+
+TEST(Metric, LogValueConsistent)
+{
+    const PowerPerformanceMetric metric(machine(), power(), 3.0);
+    for (double p : {2.0, 11.0, 25.0})
+        EXPECT_NEAR(std::exp(metric.logValue(p)), metric(p),
+                    metric(p) * 1e-12);
+}
+
+TEST(Metric, LargeExponentDoesNotOverflowInLogSpace)
+{
+    const PowerPerformanceMetric metric(machine(), power(), 500.0);
+    EXPECT_TRUE(std::isfinite(metric.logValue(10.0)));
+}
+
+TEST(Metric, HigherMetricExponentFavorsPerformance)
+{
+    // At fixed depth ratio, larger m weights throughput more: the
+    // metric ratio between a fast deep design and a slow shallow one
+    // grows with m.
+    const PowerPerformanceMetric m1(machine(), power(), 1.0);
+    const PowerPerformanceMetric m3(machine(), power(), 3.0);
+    const double r1 = m1(12.0) / m1(3.0);
+    const double r3 = m3(12.0) / m3(3.0);
+    EXPECT_GT(r3, r1);
+}
+
+TEST(MetricDeath, RejectsNonPositiveExponent)
+{
+    EXPECT_EXIT(PowerPerformanceMetric(machine(), power(), 0.0),
+                ::testing::ExitedWithCode(1), "exponent");
+}
+
+} // namespace
+} // namespace pipedepth

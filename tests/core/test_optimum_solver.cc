@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the optimum-depth solvers — the heart of the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "core/optimum_solver.hh"
+#include "core/power_model.hh"
+#include "math/roots.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+MachineParams
+typicalMachine()
+{
+    MachineParams mp;
+    mp.alpha = 2.0;
+    mp.gamma = 0.45;
+    mp.hazard_ratio = 0.12;
+    mp.t_p = 140.0;
+    mp.t_o = 2.5;
+    return mp;
+}
+
+PowerParams
+typicalPower(ClockGating gating, double leak_fraction = 0.15)
+{
+    PowerParams pw;
+    pw.p_d = 1.0;
+    pw.beta = 1.3;
+    pw.gating = gating;
+    return PowerModel::calibrateLeakage(typicalMachine(), pw,
+                                        leak_fraction, 8.0);
+}
+
+TEST(OptimumSolver, NoPipelinedOptimumForBipsPerWatt)
+{
+    // Paper: "for the case m = 1 ... no solution is possible. This
+    // means that the optimum design point is guaranteed to be a
+    // single stage pipeline."
+    for (auto gating : {ClockGating::None, ClockGating::FineGrained}) {
+        const OptimumSolver solver(typicalMachine(), typicalPower(gating));
+        const OptimumResult r = solver.solveExact(1.0);
+        EXPECT_FALSE(r.interior);
+        EXPECT_DOUBLE_EQ(r.p_opt, 1.0);
+    }
+}
+
+TEST(OptimumSolver, Bips2PerWattAlsoUnpipelinedAtTypicalParameters)
+{
+    // Paper Fig. 5: "no optima for BIPS^2/W or BIPS/W ... the
+    // particular parameters have moved this optimum point below 1."
+    const OptimumSolver solver(
+        typicalMachine(), typicalPower(ClockGating::FineGrained));
+    EXPECT_FALSE(solver.solveExact(2.0).interior);
+}
+
+TEST(OptimumSolver, Bips3PerWattHasInteriorOptimum)
+{
+    for (auto gating : {ClockGating::None, ClockGating::FineGrained}) {
+        const OptimumSolver solver(typicalMachine(), typicalPower(gating));
+        const OptimumResult r = solver.solveExact(3.0);
+        EXPECT_TRUE(r.interior) << toString(gating);
+        EXPECT_GT(r.p_opt, 2.0);
+        EXPECT_LT(r.p_opt, 15.0);
+    }
+}
+
+TEST(OptimumSolver, ExactMatchesNumeric)
+{
+    // The polynomial route and direct metric maximization must agree;
+    // parameter grid over m and gating.
+    for (auto gating : {ClockGating::None, ClockGating::FineGrained}) {
+        for (double m : {2.5, 3.0, 3.5, 4.0, 6.0}) {
+            const OptimumSolver solver(typicalMachine(),
+                                       typicalPower(gating));
+            const OptimumResult ex = solver.solveExact(m);
+            const OptimumResult nu = solver.solveNumeric(m);
+            EXPECT_EQ(ex.interior, nu.interior)
+                << "m=" << m << " " << toString(gating);
+            if (ex.interior) {
+                EXPECT_NEAR(ex.p_opt, nu.p_opt, 1e-3 * ex.p_opt)
+                    << "m=" << m << " " << toString(gating);
+            }
+        }
+    }
+}
+
+TEST(OptimumSolver, SpuriousRootAIsExactQuarticRoot)
+{
+    // Eq. 6a: p = -t_p/t_o is an exact root of the paper's quartic.
+    const OptimumSolver solver(typicalMachine(),
+                               typicalPower(ClockGating::None));
+    const Poly quartic = solver.paperQuartic(3.0);
+    const double r = solver.spuriousRootA();
+    EXPECT_NEAR(r, -56.0, 1e-12);
+    // Relative to the polynomial's scale at nearby points.
+    const double scale = std::fabs(quartic(r + 1.0));
+    EXPECT_LT(std::fabs(quartic(r)), scale * 1e-9);
+}
+
+TEST(OptimumSolver, PaperQuarticHasFourRealRootsOnePositive)
+{
+    // Fig. 1: "there are four zero crossings, but only one of these
+    // is positive."
+    const OptimumSolver solver(typicalMachine(),
+                               typicalPower(ClockGating::None));
+    const auto roots = realRoots(solver.paperQuartic(3.0));
+    ASSERT_EQ(roots.size(), 4u);
+    int positive = 0;
+    for (double r : roots)
+        positive += r > 0.0;
+    EXPECT_EQ(positive, 1);
+}
+
+TEST(OptimumSolver, SpuriousRootBApproximatesAQuarticRoot)
+{
+    // Eq. 6b is approximate; the paper reports deviation < 5% for
+    // their parameters. Accept a loose band and require that 6b lies
+    // near *some* negative root.
+    const OptimumSolver solver(typicalMachine(),
+                               typicalPower(ClockGating::None));
+    const auto roots = realRoots(solver.paperQuartic(3.0));
+    const double b = solver.spuriousRootB();
+    EXPECT_LT(b, 0.0);
+    double best = 1e18;
+    for (double r : roots)
+        best = std::min(best, std::fabs(r - b));
+    EXPECT_LT(best, std::fabs(b) * 1.0 + 1.0);
+}
+
+TEST(OptimumSolver, QuadraticApproxExactWhenLeakless)
+{
+    // With P_l = 0 the Eq. 6b deflation is exact, so Eq. 7's root
+    // must equal the exact cubic's positive root.
+    MachineParams mp = typicalMachine();
+    PowerParams pw;
+    pw.p_d = 1.0;
+    pw.p_l = 0.0;
+    pw.beta = 1.3;
+    pw.gating = ClockGating::None;
+    const OptimumSolver solver(mp, pw);
+    const auto q = solver.paperQuadraticRoot(3.0);
+    ASSERT_TRUE(q.has_value());
+    const OptimumResult ex = solver.solveExact(3.0);
+    ASSERT_TRUE(ex.interior);
+    EXPECT_NEAR(*q, ex.p_opt, 1e-6 * ex.p_opt);
+}
+
+TEST(OptimumSolver, QuadraticApproxReasonableWithLeakage)
+{
+    const OptimumSolver solver(typicalMachine(),
+                               typicalPower(ClockGating::None));
+    const auto q = solver.paperQuadraticRoot(3.0);
+    const OptimumResult ex = solver.solveExact(3.0);
+    ASSERT_TRUE(q.has_value());
+    ASSERT_TRUE(ex.interior);
+    // The deflation neglects the remainder; stay within ~35%.
+    EXPECT_NEAR(*q, ex.p_opt, 0.35 * ex.p_opt);
+}
+
+TEST(OptimumSolver, QuadraticHasNoRootForSmallM)
+{
+    const OptimumSolver solver(typicalMachine(),
+                               typicalPower(ClockGating::None));
+    EXPECT_FALSE(solver.paperQuadraticRoot(1.0).has_value());
+}
+
+TEST(OptimumSolver, NecessaryConditionMGreaterBeta)
+{
+    EXPECT_FALSE(OptimumSolver::necessaryCondition(1.0, 1.3));
+    EXPECT_FALSE(OptimumSolver::necessaryCondition(1.3, 1.3));
+    EXPECT_TRUE(OptimumSolver::necessaryCondition(3.0, 1.3));
+}
+
+TEST(OptimumSolver, ClockGatingPushesOptimumDeeper)
+{
+    // Paper: "Clock gating pushes the optimum to deeper pipelines."
+    const OptimumSolver gated(typicalMachine(),
+                              typicalPower(ClockGating::FineGrained));
+    const OptimumSolver ungated(typicalMachine(),
+                                typicalPower(ClockGating::None));
+    const OptimumResult g = gated.solveExact(3.0);
+    const OptimumResult u = ungated.solveExact(3.0);
+    ASSERT_TRUE(g.interior && u.interior);
+    EXPECT_GT(g.p_opt, u.p_opt);
+}
+
+TEST(OptimumSolver, LeakagePushesOptimumDeeper)
+{
+    // Paper Fig. 8: optimum moves from 7 to 14 stages as leakage goes
+    // from ~0 to 90% of total power.
+    double prev = 0.0;
+    for (double frac : {0.0, 0.15, 0.3, 0.5, 0.9}) {
+        const OptimumSolver solver(
+            typicalMachine(),
+            typicalPower(ClockGating::FineGrained, frac));
+        const OptimumResult r = solver.solveExact(3.0);
+        ASSERT_TRUE(r.interior) << "leak " << frac;
+        EXPECT_GT(r.p_opt, prev) << "leak " << frac;
+        prev = r.p_opt;
+    }
+}
+
+TEST(OptimumSolver, LeakageRatioAtLeastOnePointFive)
+{
+    // DESIGN.md acceptance band: p_opt(90%) / p_opt(0%) >= 1.5
+    // (paper: 14/7 = 2).
+    const OptimumSolver lo(typicalMachine(),
+                           typicalPower(ClockGating::FineGrained, 0.0));
+    const OptimumSolver hi(typicalMachine(),
+                           typicalPower(ClockGating::FineGrained, 0.9));
+    EXPECT_GE(hi.solveExact(3.0).p_opt / lo.solveExact(3.0).p_opt, 1.5);
+}
+
+TEST(OptimumSolver, LatchGrowthExponentSweepsOptimum)
+{
+    // Paper Fig. 9: beta = 1.0 deepest, beta >= 2 single stage.
+    double prev = 1e9;
+    for (double beta : {1.0, 1.1, 1.3, 1.5, 1.8}) {
+        PowerParams pw = typicalPower(ClockGating::FineGrained);
+        pw.beta = beta;
+        const OptimumSolver solver(typicalMachine(), pw);
+        const OptimumResult r = solver.solveExact(3.0);
+        ASSERT_TRUE(r.interior) << "beta " << beta;
+        EXPECT_LT(r.p_opt, prev) << "beta " << beta;
+        prev = r.p_opt;
+    }
+    PowerParams pw = typicalPower(ClockGating::FineGrained);
+    pw.beta = 2.2;
+    const OptimumSolver solver(typicalMachine(), pw);
+    EXPECT_FALSE(solver.solveExact(3.0).interior);
+}
+
+TEST(OptimumSolver, MoreHazardsShallower)
+{
+    MachineParams hi = typicalMachine();
+    hi.hazard_ratio *= 2.0;
+    const OptimumSolver base(typicalMachine(),
+                             typicalPower(ClockGating::FineGrained));
+    const OptimumSolver hazy(hi,
+                             typicalPower(ClockGating::FineGrained));
+    EXPECT_LT(hazy.solveExact(3.0).p_opt, base.solveExact(3.0).p_opt);
+}
+
+TEST(OptimumSolver, LargerMDeeper)
+{
+    // "The more important power is to the metric, the shorter the
+    // optimum pipeline length."
+    const OptimumSolver solver(
+        typicalMachine(), typicalPower(ClockGating::FineGrained));
+    const double p3 = solver.solveExact(3.0).p_opt;
+    const double p4 = solver.solveExact(4.0).p_opt;
+    const double p6 = solver.solveExact(6.0).p_opt;
+    EXPECT_LT(p3, p4);
+    EXPECT_LT(p4, p6);
+}
+
+TEST(OptimumSolver, LargeMLimitApproachesPerformanceOnly)
+{
+    const MachineParams mp = typicalMachine();
+    const OptimumSolver solver(mp, typicalPower(ClockGating::None));
+    const PerformanceModel perf(mp);
+    const double p_inf = perf.performanceOnlyOptimum();
+    const double p_200 = solver.solveNumeric(200.0, 64.0).p_opt;
+    EXPECT_NEAR(p_200, p_inf, 0.05 * p_inf);
+}
+
+/**
+ * Property sweep: random plausible parameter sets; exact and numeric
+ * optima must agree and obey the m > beta necessary condition.
+ */
+class SolverProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SolverProperty, ExactNumericAgreement)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009 + 3);
+    MachineParams mp;
+    mp.alpha = rng.uniform(1.0, 4.0);
+    mp.gamma = rng.uniform(0.2, 0.9);
+    mp.hazard_ratio = rng.uniform(0.02, 0.3);
+    mp.t_p = rng.uniform(60.0, 250.0);
+    mp.t_o = rng.uniform(1.0, 5.0);
+    PowerParams pw;
+    pw.p_d = rng.uniform(0.2, 3.0);
+    pw.p_l = rng.uniform(0.0, 0.1);
+    pw.beta = rng.uniform(0.8, 1.9);
+    pw.gating = rng.bernoulli(0.5) ? ClockGating::FineGrained
+                                   : ClockGating::None;
+    const double m = rng.uniform(1.0, 6.0);
+
+    const OptimumSolver solver(mp, pw);
+    const OptimumResult ex = solver.solveExact(m);
+    const OptimumResult nu = solver.solveNumeric(m, 512.0);
+
+    if (m <= pw.beta) {
+        // Necessary condition violated: never an interior optimum.
+        EXPECT_FALSE(ex.interior);
+    }
+    EXPECT_EQ(ex.interior, nu.interior)
+        << "m=" << m << " beta=" << pw.beta;
+    if (ex.interior) {
+        EXPECT_NEAR(ex.p_opt, nu.p_opt, 5e-3 * ex.p_opt + 1e-2);
+    }
+    // The reported metric must actually be the best on a sample grid.
+    const PowerPerformanceMetric metric(mp, pw, m);
+    for (double p = 1.0; p <= 512.0; p += 0.5)
+        EXPECT_LE(metric.logValue(p),
+                  metric.logValue(ex.p_opt) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SolverProperty, ::testing::Range(0, 50));
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the Hartstein-Puzak performance model (Eq. 1/2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/performance_model.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+MachineParams
+typical()
+{
+    MachineParams mp;
+    mp.alpha = 2.0;
+    mp.gamma = 0.45;
+    mp.hazard_ratio = 0.12;
+    mp.t_p = 140.0;
+    mp.t_o = 2.5;
+    return mp;
+}
+
+TEST(PerformanceModel, Eq1Terms)
+{
+    const PerformanceModel m(typical());
+    const double p = 10.0;
+    const double busy = (2.5 + 14.0) / 2.0;
+    const double hazard = 0.45 * 0.12 * (2.5 * 10.0 + 140.0);
+    EXPECT_NEAR(m.timePerInstruction(p), busy + hazard, 1e-12);
+}
+
+TEST(PerformanceModel, ThroughputIsReciprocal)
+{
+    const PerformanceModel m(typical());
+    EXPECT_DOUBLE_EQ(m.throughput(8.0),
+                     1.0 / m.timePerInstruction(8.0));
+}
+
+TEST(PerformanceModel, Eq2OptimumIsStationaryPoint)
+{
+    const PerformanceModel m(typical());
+    const double p = m.performanceOnlyOptimum();
+    // Closed form: sqrt(t_p / (alpha gamma h t_o))
+    EXPECT_NEAR(p, std::sqrt(140.0 / (2.0 * 0.45 * 0.12 * 2.5)), 1e-9);
+    // Analytic derivative vanishes there...
+    EXPECT_NEAR(m.timeDerivative(p), 0.0, 1e-12);
+    // ...and it is a minimum of T/N_I.
+    EXPECT_GT(m.timePerInstruction(p * 0.8), m.timePerInstruction(p));
+    EXPECT_GT(m.timePerInstruction(p * 1.25), m.timePerInstruction(p));
+}
+
+TEST(PerformanceModel, DerivativeMatchesNumeric)
+{
+    const PerformanceModel m(typical());
+    for (double p : {2.0, 5.0, 11.0, 24.0}) {
+        const double h = 1e-6;
+        const double num = (m.timePerInstruction(p + h) -
+                            m.timePerInstruction(p - h)) /
+                           (2.0 * h);
+        EXPECT_NEAR(m.timeDerivative(p), num, 1e-5);
+    }
+}
+
+TEST(PerformanceModel, NoHazardsMeansDeeperIsAlwaysBetter)
+{
+    MachineParams mp = typical();
+    mp.hazard_ratio = 0.0;
+    const PerformanceModel m(mp);
+    EXPECT_TRUE(std::isinf(m.performanceOnlyOptimum()));
+    EXPECT_LT(m.timePerInstruction(30.0), m.timePerInstruction(10.0));
+}
+
+TEST(PerformanceModel, MoreHazardsShallowerOptimum)
+{
+    MachineParams lo = typical();
+    MachineParams hi = typical();
+    hi.hazard_ratio = 2.0 * lo.hazard_ratio;
+    EXPECT_LT(PerformanceModel(hi).performanceOnlyOptimum(),
+              PerformanceModel(lo).performanceOnlyOptimum());
+}
+
+TEST(PerformanceModel, MoreSuperscalarShallowerOptimum)
+{
+    MachineParams lo = typical();
+    MachineParams hi = typical();
+    hi.alpha = 4.0;
+    EXPECT_LT(PerformanceModel(hi).performanceOnlyOptimum(),
+              PerformanceModel(lo).performanceOnlyOptimum());
+}
+
+TEST(PerformanceModel, LargerLogicDepthDeeperOptimum)
+{
+    MachineParams lo = typical();
+    MachineParams hi = typical();
+    hi.t_p = 2.0 * lo.t_p;
+    EXPECT_GT(PerformanceModel(hi).performanceOnlyOptimum(),
+              PerformanceModel(lo).performanceOnlyOptimum());
+}
+
+TEST(PerformanceModel, CpiAtLeastReciprocalAlpha)
+{
+    const PerformanceModel m(typical());
+    for (double p : {2.0, 8.0, 20.0})
+        EXPECT_GE(m.cpi(p), 1.0 / typical().alpha);
+}
+
+TEST(PerformanceModelDeath, RejectsBadParams)
+{
+    MachineParams mp = typical();
+    mp.alpha = 0.5;
+    EXPECT_EXIT(PerformanceModel m(mp), ::testing::ExitedWithCode(1),
+                "alpha");
+    mp = typical();
+    mp.gamma = 0.0;
+    EXPECT_EXIT(PerformanceModel m(mp), ::testing::ExitedWithCode(1),
+                "gamma");
+    mp = typical();
+    mp.t_p = -1.0;
+    EXPECT_EXIT(PerformanceModel m(mp), ::testing::ExitedWithCode(1),
+                "t_p");
+}
+
+} // namespace
+} // namespace pipedepth

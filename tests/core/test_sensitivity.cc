@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the sensitivity (elasticity) analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/power_model.hh"
+#include "core/sensitivity.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+std::map<std::string, double>
+computeAll()
+{
+    MachineParams mp;
+    mp.alpha = 2.0;
+    mp.gamma = 0.45;
+    mp.hazard_ratio = 0.12;
+    PowerParams pw;
+    pw.gating = ClockGating::FineGrained;
+    pw.beta = 1.3;
+    pw = PowerModel::calibrateLeakage(mp, pw, 0.15, 8.0);
+
+    std::map<std::string, double> out;
+    for (const auto &s : optimumSensitivities(mp, pw, 3.0))
+        out[s.parameter] = s.elasticity;
+    return out;
+}
+
+TEST(Sensitivity, CoversAllParameters)
+{
+    const auto s = computeAll();
+    for (const char *name : {"alpha", "gamma", "hazard_ratio", "t_p",
+                             "t_o", "p_d", "p_l", "beta", "m"}) {
+        ASSERT_TRUE(s.count(name)) << name;
+        EXPECT_TRUE(std::isfinite(s.at(name))) << name;
+    }
+}
+
+TEST(Sensitivity, SignsMatchThePaper)
+{
+    const auto s = computeAll();
+    // More superscalar, more hazards, bigger stall fraction: shallower.
+    EXPECT_LT(s.at("alpha"), 0.0);
+    EXPECT_LT(s.at("gamma"), 0.0);
+    EXPECT_LT(s.at("hazard_ratio"), 0.0);
+    // More logic depth: deeper ("as the ratio t_p/t_o increases,
+    // there is more opportunity for pipelining").
+    EXPECT_GT(s.at("t_p"), 0.0);
+    EXPECT_LT(s.at("t_o"), 0.0);
+    // Dynamic power pushes shallower, leakage deeper (Sec. 5).
+    EXPECT_LT(s.at("p_d"), 0.0);
+    EXPECT_GT(s.at("p_l"), 0.0);
+    // Latch growth exponent: strongly shallower (Fig. 9).
+    EXPECT_LT(s.at("beta"), 0.0);
+    // Performance-heavier metrics: deeper.
+    EXPECT_GT(s.at("m"), 0.0);
+}
+
+TEST(Sensitivity, ExponentsDominate)
+{
+    // "The parameters, which have the greatest impact on the optimum
+    // design point, are the two exponents, m and beta."
+    const auto s = computeAll();
+    const double beta_mag = std::fabs(s.at("beta"));
+    const double m_mag = std::fabs(s.at("m"));
+    for (const char *weak : {"p_d", "p_l", "t_o"}) {
+        EXPECT_GT(beta_mag, std::fabs(s.at(weak))) << weak;
+        EXPECT_GT(m_mag, std::fabs(s.at(weak))) << weak;
+    }
+}
+
+TEST(Sensitivity, EmptyWhenNoInteriorOptimum)
+{
+    MachineParams mp;
+    PowerParams pw;
+    pw.p_l = 0.01;
+    // m = 1: BIPS/W never has a pipelined optimum.
+    EXPECT_TRUE(optimumSensitivities(mp, pw, 1.0).empty());
+}
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the mini-ISA static properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/isa.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(Isa, MemoryClassesAreRx)
+{
+    EXPECT_TRUE(isMem(OpClass::Load));
+    EXPECT_TRUE(isMem(OpClass::Store));
+    EXPECT_TRUE(isMem(OpClass::IntAluMem));
+    EXPECT_FALSE(isMem(OpClass::IntAlu));
+    EXPECT_FALSE(isMem(OpClass::BranchCond));
+    EXPECT_FALSE(isMem(OpClass::FpMul));
+}
+
+TEST(Isa, LoadStoreFlags)
+{
+    EXPECT_TRUE(opTraits(OpClass::Load).is_load);
+    EXPECT_FALSE(opTraits(OpClass::Load).is_store);
+    EXPECT_TRUE(opTraits(OpClass::Store).is_store);
+    EXPECT_FALSE(opTraits(OpClass::Store).is_load);
+    EXPECT_TRUE(opTraits(OpClass::IntAluMem).is_load);
+}
+
+TEST(Isa, BranchFlags)
+{
+    EXPECT_TRUE(isBranch(OpClass::BranchCond));
+    EXPECT_TRUE(isBranch(OpClass::BranchUncond));
+    EXPECT_FALSE(isBranch(OpClass::IntAlu));
+}
+
+TEST(Isa, FpClassesAreUnpipelined)
+{
+    // The paper: "floating point instructions are assumed to execute
+    // individually and take multiple cycles to complete."
+    for (auto cls : {OpClass::FpAdd, OpClass::FpMul, OpClass::FpDiv,
+                     OpClass::FpLong}) {
+        EXPECT_TRUE(isFp(cls));
+        EXPECT_TRUE(opTraits(cls).unpipelined);
+        EXPECT_GT(opTraits(cls).exec_latency, 1);
+    }
+}
+
+TEST(Isa, LatencyOrdering)
+{
+    EXPECT_EQ(opTraits(OpClass::IntAlu).exec_latency, 1);
+    EXPECT_LT(opTraits(OpClass::IntMul).exec_latency,
+              opTraits(OpClass::IntDiv).exec_latency);
+    EXPECT_LT(opTraits(OpClass::FpAdd).exec_latency,
+              opTraits(OpClass::FpDiv).exec_latency);
+}
+
+TEST(Isa, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < kNumOpClasses; ++i)
+        names.insert(opClassName(static_cast<OpClass>(i)));
+    EXPECT_EQ(names.size(), kNumOpClasses);
+}
+
+TEST(Isa, RegisterNamespace)
+{
+    EXPECT_EQ(kNumRegs, kNumGprs + kNumFprs);
+    EXPECT_GE(kNoReg, kNumRegs);
+    EXPECT_EQ(kFprBase, kNumGprs);
+}
+
+} // namespace
+} // namespace pipedepth

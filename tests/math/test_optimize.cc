@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for scalar maximization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/optimize.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(GoldenSection, FindsParabolaPeak)
+{
+    const auto r = goldenSectionMax(
+        [](double x) { return -(x - 3.0) * (x - 3.0); }, 0.0, 10.0);
+    EXPECT_NEAR(r.x, 3.0, 1e-6);
+    EXPECT_NEAR(r.value, 0.0, 1e-10);
+    EXPECT_TRUE(r.interior);
+}
+
+TEST(GoldenSection, MonotoneFunctionHitsEndpoint)
+{
+    const auto r =
+        goldenSectionMax([](double x) { return x; }, 0.0, 5.0);
+    EXPECT_NEAR(r.x, 5.0, 1e-6);
+    EXPECT_FALSE(r.interior);
+}
+
+TEST(MaximizeScan, FindsInteriorPeak)
+{
+    const auto r = maximizeScan(
+        [](double x) { return std::exp(-(x - 7.2) * (x - 7.2)); }, 1.0,
+        25.0);
+    EXPECT_NEAR(r.x, 7.2, 1e-5);
+    EXPECT_TRUE(r.interior);
+}
+
+TEST(MaximizeScan, DecreasingFunctionReportsLeftEndpoint)
+{
+    const auto r =
+        maximizeScan([](double x) { return 1.0 / x; }, 1.0, 25.0);
+    EXPECT_DOUBLE_EQ(r.x, 1.0);
+    EXPECT_FALSE(r.interior);
+}
+
+TEST(MaximizeScan, IncreasingFunctionReportsRightEndpoint)
+{
+    const auto r =
+        maximizeScan([](double x) { return std::log(x); }, 1.0, 25.0);
+    EXPECT_DOUBLE_EQ(r.x, 25.0);
+    EXPECT_FALSE(r.interior);
+}
+
+TEST(MaximizeScan, ResolvesMultipleLocalMaxima)
+{
+    // Two bumps; the taller one is at x = 16.
+    auto f = [](double x) {
+        return std::exp(-(x - 4.0) * (x - 4.0)) +
+               1.5 * std::exp(-(x - 16.0) * (x - 16.0));
+    };
+    const auto r = maximizeScan(f, 0.0, 20.0, 800);
+    EXPECT_NEAR(r.x, 16.0, 1e-4);
+}
+
+TEST(MaximizeScan, PeakNearBoundaryStillInterior)
+{
+    const auto r = maximizeScan(
+        [](double x) { return -(x - 1.3) * (x - 1.3); }, 1.0, 25.0, 800);
+    EXPECT_NEAR(r.x, 1.3, 1e-4);
+    EXPECT_TRUE(r.interior);
+}
+
+TEST(MaximizeScanDeath, BadIntervals)
+{
+    EXPECT_DEATH(maximizeScan([](double x) { return x; }, 2.0, 1.0),
+                 "invalid interval");
+    EXPECT_DEATH(
+        maximizeScan([](double x) { return x; }, 0.0, 1.0, 2),
+        "grid points");
+}
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for polynomial arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "math/poly.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(Poly, ZeroPolynomial)
+{
+    Poly z;
+    EXPECT_TRUE(z.isZero());
+    EXPECT_EQ(z.degree(), -1);
+    EXPECT_EQ(z(3.0), 0.0);
+    EXPECT_EQ(z.str(), "0");
+}
+
+TEST(Poly, TrailingZerosTrimmed)
+{
+    Poly p({1.0, 2.0, 0.0, 0.0});
+    EXPECT_EQ(p.degree(), 1);
+    EXPECT_EQ(p.coeff(1), 2.0);
+    EXPECT_EQ(p.coeff(7), 0.0);
+}
+
+TEST(Poly, HornerEvaluation)
+{
+    Poly p({1.0, -2.0, 3.0}); // 3x^2 - 2x + 1
+    EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(p(-2.0), 17.0);
+}
+
+TEST(Poly, Arithmetic)
+{
+    Poly a({1.0, 1.0});  // 1 + x
+    Poly b({-1.0, 1.0}); // -1 + x
+    EXPECT_EQ((a + b).coeffs(), (std::vector<double>{0.0, 2.0}));
+    EXPECT_EQ((a - b).coeffs(), (std::vector<double>{2.0}));
+    EXPECT_EQ((a * b).coeffs(), (std::vector<double>{-1.0, 0.0, 1.0}));
+    EXPECT_EQ((a * 3.0).coeffs(), (std::vector<double>{3.0, 3.0}));
+    EXPECT_EQ((2.0 * a).coeffs(), (std::vector<double>{2.0, 2.0}));
+    EXPECT_EQ((-a).coeffs(), (std::vector<double>{-1.0, -1.0}));
+}
+
+TEST(Poly, AdditionCancellationTrims)
+{
+    Poly a({0.0, 0.0, 1.0});
+    Poly b({1.0, 0.0, -1.0});
+    EXPECT_EQ((a + b).degree(), 0);
+}
+
+TEST(Poly, Derivative)
+{
+    Poly p({5.0, 4.0, 3.0, 2.0}); // 2x^3 + 3x^2 + 4x + 5
+    EXPECT_EQ(p.derivative().coeffs(),
+              (std::vector<double>{4.0, 6.0, 6.0}));
+    EXPECT_TRUE(Poly({7.0}).derivative().isZero());
+}
+
+TEST(Poly, MonomialAndConstant)
+{
+    EXPECT_EQ(Poly::monomial(2.5, 3).coeffs(),
+              (std::vector<double>{0.0, 0.0, 0.0, 2.5}));
+    EXPECT_EQ(Poly::constant(4.0).degree(), 0);
+}
+
+TEST(Poly, DeflateAtRoot)
+{
+    // (x - 2)(x + 3) = x^2 + x - 6
+    Poly p({-6.0, 1.0, 1.0});
+    double rem = 1.0;
+    const Poly q = p.deflate(2.0, &rem);
+    EXPECT_NEAR(rem, 0.0, 1e-12);
+    EXPECT_EQ(q.degree(), 1);
+    EXPECT_NEAR(q.coeff(0), 3.0, 1e-12);
+    EXPECT_NEAR(q.coeff(1), 1.0, 1e-12);
+}
+
+TEST(Poly, DeflateNonRootLeavesRemainder)
+{
+    Poly p({-6.0, 1.0, 1.0});
+    double rem = 0.0;
+    p.deflate(1.0, &rem);
+    EXPECT_NEAR(rem, p(1.0), 1e-12);
+}
+
+TEST(Poly, Monic)
+{
+    Poly p({2.0, 4.0});
+    const Poly m = p.monic();
+    EXPECT_DOUBLE_EQ(m.coeff(1), 1.0);
+    EXPECT_DOUBLE_EQ(m.coeff(0), 0.5);
+}
+
+TEST(Poly, StrRendering)
+{
+    EXPECT_EQ(Poly({1.0, -2.0, 3.0}).str(), "3x^2 - 2x + 1");
+    EXPECT_EQ(Poly({0.0, 1.0}).str(), "1x");
+    EXPECT_EQ(Poly({0.0, 0.0, -4.0}).str(), "-4x^2");
+}
+
+/** Property: evaluation is a ring homomorphism. */
+class PolyProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PolyProperty, MultiplicationMatchesPointwise)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    std::vector<double> ca(1 + rng.below(5)), cb(1 + rng.below(5));
+    for (auto &c : ca)
+        c = rng.uniform(-3.0, 3.0);
+    for (auto &c : cb)
+        c = rng.uniform(-3.0, 3.0);
+    Poly a(ca), b(cb);
+    for (double x : {-2.0, -0.5, 0.0, 1.0, 2.5}) {
+        EXPECT_NEAR((a * b)(x), a(x) * b(x), 1e-9)
+            << a.str() << " * " << b.str();
+        EXPECT_NEAR((a + b)(x), a(x) + b(x), 1e-9);
+        EXPECT_NEAR((a - b)(x), a(x) - b(x), 1e-9);
+    }
+}
+
+TEST_P(PolyProperty, DeflateReconstructs)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 77 + 5);
+    std::vector<double> c(2 + rng.below(4));
+    for (auto &v : c)
+        v = rng.uniform(-2.0, 2.0);
+    c.back() = c.back() == 0.0 ? 1.0 : c.back();
+    const Poly p(c);
+    const double r = rng.uniform(-2.0, 2.0);
+    double rem = 0.0;
+    const Poly q = p.deflate(r, &rem);
+    // p(x) = q(x) (x - r) + rem
+    for (double x : {-1.5, 0.3, 2.0}) {
+        EXPECT_NEAR(p(x), q(x) * (x - r) + rem, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PolyProperty, ::testing::Range(0, 25));
+
+} // namespace
+} // namespace pipedepth

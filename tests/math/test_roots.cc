@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the real-root finder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hh"
+#include "math/roots.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(Roots, Linear)
+{
+    const auto r = realRoots(Poly({-6.0, 2.0}));
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_NEAR(r[0], 3.0, 1e-12);
+}
+
+TEST(Roots, QuadraticTwoRoots)
+{
+    // (x-1)(x+4)
+    const auto r = realRoots(Poly({-4.0, 3.0, 1.0}));
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_NEAR(r[0], -4.0, 1e-9);
+    EXPECT_NEAR(r[1], 1.0, 1e-9);
+}
+
+TEST(Roots, QuadraticNoRealRoots)
+{
+    EXPECT_TRUE(realRoots(Poly({1.0, 0.0, 1.0})).empty());
+}
+
+TEST(Roots, DoubleRootDetected)
+{
+    // (x-2)^2 touches zero without sign change.
+    const auto r = realRoots(Poly({4.0, -4.0, 1.0}));
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_NEAR(r[0], 2.0, 1e-6);
+}
+
+TEST(Roots, CubicKnownRoots)
+{
+    // (x+1)(x-2)(x-5) = x^3 - 6x^2 + 3x + 10
+    const auto r = realRoots(Poly({10.0, 3.0, -6.0, 1.0}));
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_NEAR(r[0], -1.0, 1e-9);
+    EXPECT_NEAR(r[1], 2.0, 1e-9);
+    EXPECT_NEAR(r[2], 5.0, 1e-9);
+}
+
+TEST(Roots, ZeroRootsStripped)
+{
+    // x^2 (x - 3)
+    const auto r = realRoots(Poly({0.0, 0.0, -3.0, 1.0}));
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_NEAR(r[0], 0.0, 1e-12);
+    EXPECT_NEAR(r[1], 3.0, 1e-9);
+}
+
+TEST(Roots, WidelySpacedMagnitudes)
+{
+    // (x - 1e-3)(x - 1e3)
+    Poly p = Poly({-1e-3, 1.0}) * Poly({-1e3, 1.0});
+    const auto r = realRoots(p);
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_NEAR(r[0], 1e-3, 1e-7);
+    EXPECT_NEAR(r[1], 1e3, 1e-5);
+}
+
+TEST(Roots, RootBoundHolds)
+{
+    Poly p({10.0, 3.0, -6.0, 1.0});
+    const double b = rootBound(p);
+    for (double r : realRoots(p))
+        EXPECT_LE(std::fabs(r), b);
+}
+
+TEST(Roots, BisectRootFindsCrossing)
+{
+    const double r =
+        bisectRoot([](double x) { return x * x * x - 8.0; }, 0.0, 10.0);
+    EXPECT_NEAR(r, 2.0, 1e-9);
+}
+
+TEST(Roots, BisectRootEndpointRoot)
+{
+    const double r =
+        bisectRoot([](double x) { return x - 1.0; }, 1.0, 5.0);
+    EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(RootsDeath, BisectRequiresSignChange)
+{
+    EXPECT_DEATH(bisectRoot([](double) { return 1.0; }, 0.0, 1.0),
+                 "sign change");
+}
+
+TEST(Roots, NewtonConverges)
+{
+    const double r = newtonRoot(
+        [](double x) { return x * x - 2.0; },
+        [](double x) { return 2.0 * x; }, 1.0, 0.0, 3.0);
+    EXPECT_NEAR(r, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Roots, NewtonFallsBackToBisection)
+{
+    // Start where the derivative vanishes; the bracket still works.
+    const double r = newtonRoot(
+        [](double x) { return x * x * x - 1.0; },
+        [](double x) { return 3.0 * x * x; }, 0.0, -1.0, 2.0);
+    EXPECT_NEAR(r, 1.0, 1e-9);
+}
+
+/**
+ * Property: build a polynomial from known random roots and require
+ * the finder to recover every one of them.
+ */
+class RootsProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RootsProperty, RecoversConstructedRoots)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+    const int n = 1 + static_cast<int>(rng.below(5));
+    std::vector<double> roots;
+    Poly p = Poly::constant(rng.uniform(0.5, 2.0));
+    for (int i = 0; i < n; ++i) {
+        double r;
+        bool ok;
+        do {
+            r = rng.uniform(-10.0, 10.0);
+            ok = true;
+            for (double prev : roots)
+                ok = ok && std::fabs(prev - r) > 0.2;
+        } while (!ok);
+        roots.push_back(r);
+        p *= Poly({-r, 1.0});
+    }
+    std::sort(roots.begin(), roots.end());
+
+    const auto found = realRoots(p);
+    ASSERT_EQ(found.size(), roots.size()) << p.str();
+    for (std::size_t i = 0; i < roots.size(); ++i)
+        EXPECT_NEAR(found[i], roots[i], 1e-6) << p.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RootsProperty, ::testing::Range(0, 40));
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the activity-based power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/least_squares.hh"
+#include "power/activity_power.hh"
+#include "trace/generator.hh"
+#include "uarch/simulator.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+Trace
+testTrace()
+{
+    TraceGenParams p;
+    p.seed = 21;
+    p.length = 30000;
+    return generateTrace(p, "power-test");
+}
+
+ActivityPowerModel
+model(double p_l = 0.0)
+{
+    return ActivityPowerModel(UnitPowerFactors::defaults(), 1.0, p_l);
+}
+
+TEST(ActivityPower, LatchCountGrowsWithDepth)
+{
+    const auto m = model();
+    double prev = 0.0;
+    for (int p = 2; p <= 25; ++p) {
+        const double l = m.latchCount(PipelineConfig::forDepth(p));
+        EXPECT_GT(l, prev) << "p=" << p;
+        prev = l;
+    }
+}
+
+TEST(ActivityPower, OverallLatchExponentNearPaper)
+{
+    // Fig. 3: with per-unit beta = 1.3, the overall latch count grows
+    // ~ p^1.1 because queues/completion/retire do not deepen.
+    const auto m = model();
+    std::vector<double> xs, ys;
+    for (int p = 2; p <= 25; ++p) {
+        xs.push_back(p);
+        ys.push_back(m.latchCount(PipelineConfig::forDepth(p)));
+    }
+    const PowerLawFit fit = fitPowerLaw(xs, ys);
+    EXPECT_GT(fit.k, 0.95);
+    EXPECT_LT(fit.k, 1.30);
+    EXPECT_LT(fit.k, UnitPowerFactors::defaults().beta_unit);
+    EXPECT_GT(fit.r2, 0.93);
+}
+
+TEST(ActivityPower, MergeChargesMaxOfGroup)
+{
+    // At p = 2, DCache+ExecQ+Fxu share a cycle; the group must charge
+    // only the largest requirement, so total latches are below the
+    // sum of all unit requirements.
+    const auto m = model();
+    const PipelineConfig cfg = PipelineConfig::forDepth(2);
+    const auto &f = UnitPowerFactors::defaults();
+    double naive = 0.0;
+    for (std::size_t u = 0; u < kNumUnits; ++u) {
+        if (cfg.unit_depth[u] > 0 ||
+            static_cast<Unit>(u) == Unit::DCache) {
+            naive += f.base_latches[u];
+        }
+    }
+    EXPECT_LT(m.latchCount(cfg), naive);
+}
+
+TEST(ActivityPower, GatedNeverExceedsUngated)
+{
+    const Trace t = testTrace();
+    const auto m = model(0.001);
+    for (int p : {2, 6, 12, 25}) {
+        const SimResult r = simulateAtDepth(t, p);
+        const SimPower pw = m.power(r);
+        EXPECT_LE(pw.dynamic_gated, pw.dynamic_ungated) << "p=" << p;
+        EXPECT_GT(pw.dynamic_gated, 0.0);
+        EXPECT_GT(pw.leakage, 0.0);
+    }
+}
+
+TEST(ActivityPower, LeakageFractionCalibration)
+{
+    const Trace t = testTrace();
+    const SimResult ref = simulateAtDepth(t, 8);
+    for (double target : {0.05, 0.15, 0.5}) {
+        const auto m = model().withLeakageFraction(ref, target);
+        EXPECT_NEAR(m.power(ref).leakageFraction(true), target, 1e-9);
+    }
+}
+
+TEST(ActivityPower, MetricDefinition)
+{
+    const Trace t = testTrace();
+    const SimResult r = simulateAtDepth(t, 8);
+    const auto m = model(0.01);
+    const SimPower pw = m.power(r);
+    EXPECT_NEAR(m.metric(r, 3.0, true),
+                std::pow(r.bips(), 3.0) / pw.total(true),
+                m.metric(r, 3.0, true) * 1e-12);
+    // Gated metric beats ungated (less power, same performance).
+    EXPECT_GT(m.metric(r, 3.0, true), m.metric(r, 3.0, false));
+}
+
+TEST(ActivityPower, UngatedPowerGrowsWithDepth)
+{
+    const Trace t = testTrace();
+    const auto m = model(0.01);
+    double prev = 0.0;
+    for (int p = 6; p <= 25; ++p) {
+        const SimResult r = simulateAtDepth(t, p);
+        const double w = m.power(r).total(false);
+        EXPECT_GT(w, prev) << "p=" << p;
+        prev = w;
+    }
+}
+
+TEST(ActivityPowerDeath, RejectsNegativePowers)
+{
+    EXPECT_EXIT(ActivityPowerModel(UnitPowerFactors::defaults(), -1.0,
+                                   0.0),
+                ::testing::ExitedWithCode(1), "non-negative");
+}
+
+TEST(ActivityPowerDeath, RejectsBadLeakageTarget)
+{
+    const Trace t = testTrace();
+    const SimResult ref = simulateAtDepth(t, 8);
+    EXPECT_EXIT(model().withLeakageFraction(ref, 1.5),
+                ::testing::ExitedWithCode(1), "fraction");
+}
+
+} // namespace
+} // namespace pipedepth

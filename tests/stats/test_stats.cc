@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for summary statistics and histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "stats/stats.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    s.add({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    // Sample stddev of this classic set is sqrt(32/7).
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, MedianEvenOdd)
+{
+    Summary odd;
+    odd.add({3.0, 1.0, 2.0});
+    EXPECT_DOUBLE_EQ(odd.median(), 2.0);
+
+    Summary even;
+    even.add({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Summary, PercentileInterpolation)
+{
+    Summary s;
+    s.add({0.0, 10.0});
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25.0), 2.5);
+}
+
+TEST(Summary, SingleSample)
+{
+    Summary s;
+    s.add(3.14);
+    EXPECT_DOUBLE_EQ(s.median(), 3.14);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(73.0), 3.14);
+}
+
+TEST(Summary, IncrementalAdditionInvalidatesCache)
+{
+    Summary s;
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 1.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Summary, GaussianSanity)
+{
+    Rng rng(1);
+    Summary s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(rng.gaussian() * 2.0 + 10.0);
+    EXPECT_NEAR(s.mean(), 10.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+    EXPECT_NEAR(s.median(), 10.0, 0.1);
+    EXPECT_NEAR(s.percentile(97.7), 14.0, 0.3);
+}
+
+TEST(SummaryDeath, EmptyQueriesPanic)
+{
+    Summary s;
+    EXPECT_DEATH(s.mean(), "no samples");
+    EXPECT_DEATH(s.percentile(50.0), "no samples");
+}
+
+TEST(Histogram, BinsAndMode)
+{
+    Histogram h;
+    for (double v : {6.8, 7.1, 7.4, 7.9, 8.2, 6.6})
+        h.add(v);
+    EXPECT_EQ(h.count(), 6u);
+    ASSERT_TRUE(h.bins().count(7));
+    EXPECT_EQ(h.bins().at(7), 4); // 6.6, 6.8, 7.1, 7.4 all round to 7
+    EXPECT_EQ(h.bins().at(8), 2); // 7.9, 8.2
+    EXPECT_EQ(h.mode(), 7);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h;
+    h.add(3.0);
+    h.add(3.0);
+    h.add(5.0);
+    const std::string out = h.render();
+    EXPECT_NE(out.find("3\t2\t##"), std::string::npos);
+    EXPECT_NE(out.find("5\t1\t#"), std::string::npos);
+}
+
+TEST(HistogramDeath, EmptyModePanics)
+{
+    Histogram h;
+    EXPECT_DEATH(h.mode(), "empty");
+}
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "trace/generator.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TraceGenParams
+base()
+{
+    TraceGenParams p;
+    p.seed = 42;
+    p.length = 60000;
+    return p;
+}
+
+TEST(Generator, Deterministic)
+{
+    const Trace a = generateTrace(base(), "x");
+    const Trace b = generateTrace(base(), "x");
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].pc, b[i].pc);
+        ASSERT_EQ(a[i].op, b[i].op);
+        ASSERT_EQ(a[i].mem_addr, b[i].mem_addr);
+        ASSERT_EQ(a[i].taken, b[i].taken);
+    }
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    TraceGenParams p2 = base();
+    p2.seed = 43;
+    const Trace a = generateTrace(base(), "x");
+    const Trace b = generateTrace(p2, "x");
+    std::size_t same = 0;
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i)
+        same += a[i].pc == b[i].pc;
+    EXPECT_LT(same, n / 2);
+}
+
+TEST(Generator, ExactLength)
+{
+    const Trace t = generateTrace(base(), "x");
+    EXPECT_EQ(t.size(), base().length);
+    EXPECT_EQ(t.seed, base().seed);
+    EXPECT_EQ(t.name, "x");
+}
+
+TEST(Generator, BranchFractionMatches)
+{
+    const Trace t = generateTrace(base(), "x");
+    const TraceMix mix = computeMix(t);
+    EXPECT_NEAR(mix.frac(mix.branches), base().branch_frac, 0.03);
+}
+
+TEST(Generator, InstructionMixMatches)
+{
+    // Mix accounting is over the dynamic walk, which weights hot
+    // loops heavily; use a footprint large enough for the law of
+    // large numbers to hold across hot blocks.
+    TraceGenParams p = base();
+    p.length = 200000;
+    p.n_blocks = 4000;
+    p.frac_load = 0.25;
+    p.frac_store = 0.12;
+    p.frac_fp = 0.2;
+    const Trace t = generateTrace(p, "x");
+    const TraceMix mix = computeMix(t);
+    const double non_branch = 1.0 - mix.frac(mix.branches);
+    EXPECT_NEAR(mix.frac(mix.loads), 0.25 * non_branch, 0.03);
+    EXPECT_NEAR(mix.frac(mix.stores), 0.12 * non_branch, 0.02);
+    EXPECT_NEAR(mix.frac(mix.fp_ops), 0.2 * non_branch, 0.03);
+}
+
+TEST(Generator, MemOpsHaveAddressesAndBase)
+{
+    const Trace t = generateTrace(base(), "x");
+    for (const auto &r : t.records) {
+        if (opTraits(r.op).is_mem) {
+            EXPECT_NE(r.mem_addr, 0u);
+            EXPECT_LT(r.src3, kNumGprs);
+        }
+    }
+}
+
+TEST(Generator, BranchesHaveTargets)
+{
+    const Trace t = generateTrace(base(), "x");
+    std::uint64_t checked = 0;
+    for (const auto &r : t.records) {
+        if (opTraits(r.op).is_branch) {
+            EXPECT_NE(r.target, 0u);
+            if (r.op == OpClass::BranchUncond) {
+                EXPECT_TRUE(r.taken);
+            }
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 0u);
+}
+
+TEST(Generator, TakenBranchesGoToTargets)
+{
+    const Trace t = generateTrace(base(), "x");
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        const TraceRecord &r = t[i];
+        if (opTraits(r.op).is_branch && r.taken) {
+            EXPECT_EQ(t[i + 1].pc, r.target) << i;
+        }
+    }
+}
+
+TEST(Generator, SequentialPcWithinBlocks)
+{
+    const Trace t = generateTrace(base(), "x");
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        const TraceRecord &r = t[i];
+        if (!opTraits(r.op).is_branch || !r.taken) {
+            // Fall-through: the next pc is r.pc + 4 unless a block
+            // boundary (non-branch blocks don't exist; body instrs
+            // are sequential).
+            if (!opTraits(r.op).is_branch) {
+                EXPECT_EQ(t[i + 1].pc, r.pc + 4) << i;
+            }
+        }
+    }
+}
+
+TEST(Generator, VisitsManyBlocks)
+{
+    // Regression: unconditional-branch cycles used to trap the walk
+    // in a handful of blocks.
+    TraceGenParams p = base();
+    p.cond_branch_share = 0.3; // many unconditional branches
+    const Trace t = generateTrace(p, "x");
+    std::set<std::uint64_t> pcs;
+    for (const auto &r : t.records)
+        pcs.insert(r.pc);
+    EXPECT_GT(pcs.size(), 500u);
+}
+
+TEST(Generator, WorkingSetBoundsAddresses)
+{
+    TraceGenParams p = base();
+    p.data_working_set = 64 * 1024;
+    const Trace t = generateTrace(p, "x");
+    for (const auto &r : t.records) {
+        if (opTraits(r.op).is_mem) {
+            EXPECT_GE(r.mem_addr, 0x10000000u);
+            EXPECT_LT(r.mem_addr, 0x10000000u + 4096 + 64 * 1024 + 64);
+        }
+    }
+}
+
+TEST(Generator, FpRegistersForFpOps)
+{
+    TraceGenParams p = base();
+    p.frac_fp = 0.5;
+    const Trace t = generateTrace(p, "x");
+    for (const auto &r : t.records) {
+        if (isFp(r.op)) {
+            EXPECT_GE(r.dst, kFprBase);
+            EXPECT_LT(r.dst, kNumRegs);
+        }
+    }
+}
+
+TEST(Generator, DependenceKnobShortensDistances)
+{
+    auto mean_dist = [](const Trace &t) {
+        // Average distance from each instr to the most recent writer
+        // of src1.
+        std::vector<long> last(kNumRegs, -1);
+        double sum = 0.0;
+        long n = 0;
+        for (long i = 0; i < static_cast<long>(t.size()); ++i) {
+            const TraceRecord &r = t[static_cast<std::size_t>(i)];
+            if (r.src1 != kNoReg && last[r.src1] >= 0) {
+                sum += static_cast<double>(i - last[r.src1]);
+                ++n;
+            }
+            if (r.dst != kNoReg)
+                last[r.dst] = i;
+        }
+        return n ? sum / n : 1e9;
+    };
+
+    TraceGenParams tight = base();
+    tight.dep_near = 0.9;
+    tight.mean_dep_dist = 1.5;
+    TraceGenParams loose = base();
+    loose.dep_near = 0.2;
+    loose.mean_dep_dist = 8.0;
+    EXPECT_LT(mean_dist(generateTrace(tight, "t")),
+              mean_dist(generateTrace(loose, "l")));
+}
+
+TEST(GeneratorDeath, RejectsBadParameters)
+{
+    TraceGenParams p = base();
+    p.frac_load = 0.9;
+    p.frac_fp = 0.5;
+    EXPECT_EXIT(generateTrace(p, "x"), ::testing::ExitedWithCode(1),
+                "exceed");
+
+    p = base();
+    p.length = 0;
+    EXPECT_EXIT(generateTrace(p, "x"), ::testing::ExitedWithCode(1),
+                "length");
+
+    p = base();
+    p.n_blocks = 1;
+    EXPECT_EXIT(generateTrace(p, "x"), ::testing::ExitedWithCode(1),
+                "blocks");
+}
+
+/** Parameterized mix audit across very different profiles. */
+class GeneratorMix
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{
+};
+
+TEST_P(GeneratorMix, FractionsTrack)
+{
+    const auto [branch, load, fp] = GetParam();
+    TraceGenParams p = base();
+    p.length = 200000;
+    p.n_blocks = 4000;
+    p.branch_frac = branch;
+    p.frac_load = load;
+    p.frac_fp = fp;
+    const Trace t = generateTrace(p, "x");
+    const TraceMix mix = computeMix(t);
+    EXPECT_NEAR(mix.frac(mix.branches), branch, 0.04);
+    const double nb = 1.0 - mix.frac(mix.branches);
+    EXPECT_NEAR(mix.frac(mix.loads), load * nb, 0.04);
+    EXPECT_NEAR(mix.frac(mix.fp_ops), fp * nb, 0.04);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, GeneratorMix,
+    ::testing::Values(std::make_tuple(0.08, 0.2, 0.0),
+                      std::make_tuple(0.15, 0.3, 0.1),
+                      std::make_tuple(0.22, 0.15, 0.0),
+                      std::make_tuple(0.10, 0.25, 0.4)));
+
+} // namespace
+} // namespace pipedepth

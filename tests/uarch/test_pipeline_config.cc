@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for pipeline configuration and depth scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "uarch/pipeline_config.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+int
+unitDepth(const PipelineConfig &cfg, Unit u)
+{
+    return cfg.unit_depth[static_cast<std::size_t>(u)];
+}
+
+TEST(PipelineConfig, EveryDepthSumsAlongRxPath)
+{
+    for (int p = 2; p <= 30; ++p) {
+        const PipelineConfig cfg = PipelineConfig::forDepth(p);
+        EXPECT_EQ(cfg.rxPathDepth(), p) << "p=" << p;
+        EXPECT_EQ(cfg.depth, p);
+    }
+}
+
+TEST(PipelineConfig, ExpansionGrowsDecodeCacheExecTogether)
+{
+    // "We insert extra stages in Decode, Cache Access and E-Unit
+    // Pipe, simultaneously" — they stay within one stage of each
+    // other at every depth.
+    for (int p = 6; p <= 30; ++p) {
+        const PipelineConfig cfg = PipelineConfig::forDepth(p);
+        const int d = unitDepth(cfg, Unit::Decode);
+        const int c = unitDepth(cfg, Unit::DCache);
+        const int e = unitDepth(cfg, Unit::Fxu);
+        EXPECT_LE(std::abs(d - c), 1) << "p=" << p;
+        EXPECT_LE(std::abs(d - e), 1) << "p=" << p;
+        EXPECT_LE(std::abs(c - e), 1) << "p=" << p;
+        // Queues stay single-stage during expansion.
+        EXPECT_EQ(unitDepth(cfg, Unit::AgenQ), 1);
+        EXPECT_EQ(unitDepth(cfg, Unit::ExecQ), 1);
+    }
+}
+
+TEST(PipelineConfig, ExpansionIsMonotone)
+{
+    for (Unit u : {Unit::Decode, Unit::DCache, Unit::Fxu}) {
+        int prev = 0;
+        for (int p = 6; p <= 30; ++p) {
+            const int d =
+                unitDepth(PipelineConfig::forDepth(p), u);
+            EXPECT_GE(d, prev) << unitName(u) << " p=" << p;
+            prev = d;
+        }
+    }
+}
+
+TEST(PipelineConfig, ContractionMergesUnits)
+{
+    // p < 6 uses merge groups; p >= 6 does not.
+    for (int p = 2; p <= 5; ++p)
+        EXPECT_FALSE(PipelineConfig::forDepth(p).merge_groups.empty())
+            << "p=" << p;
+    for (int p = 6; p <= 10; ++p)
+        EXPECT_TRUE(PipelineConfig::forDepth(p).merge_groups.empty())
+            << "p=" << p;
+}
+
+TEST(PipelineConfig, MergedUnitsHaveZeroDepth)
+{
+    for (int p = 2; p <= 5; ++p) {
+        const PipelineConfig cfg = PipelineConfig::forDepth(p);
+        for (const auto &group : cfg.merge_groups) {
+            int nonzero = 0;
+            for (Unit u : group)
+                nonzero += unitDepth(cfg, u) > 0;
+            EXPECT_LE(nonzero, 1) << "p=" << p;
+        }
+    }
+}
+
+TEST(PipelineConfig, InOrderSkipsRename)
+{
+    EXPECT_EQ(unitDepth(PipelineConfig::forDepth(8, true), Unit::Rename),
+              0);
+    EXPECT_EQ(unitDepth(PipelineConfig::forDepth(8, false), Unit::Rename),
+              1);
+}
+
+TEST(PipelineConfig, CycleTimeMatchesFormula)
+{
+    const PipelineConfig cfg = PipelineConfig::forDepth(7);
+    EXPECT_NEAR(cfg.cycleTime(), 2.5 + 140.0 / 7.0, 1e-12);
+}
+
+TEST(PipelineConfig, MissPenaltiesGrowWithDepth)
+{
+    // Constant-time latencies cost more cycles at faster clocks.
+    const PipelineConfig shallow = PipelineConfig::forDepth(4);
+    const PipelineConfig deep = PipelineConfig::forDepth(24);
+    EXPECT_GT(deep.missPenaltyCycles(), shallow.missPenaltyCycles());
+    EXPECT_GT(deep.l2PenaltyCycles(), shallow.l2PenaltyCycles());
+    EXPECT_GE(shallow.missPenaltyCycles(), 1);
+}
+
+TEST(PipelineConfig, ForwardLatencyScalesSubLinearly)
+{
+    const PipelineConfig cfg = PipelineConfig::forDepth(8);
+    EXPECT_EQ(cfg.forwardLatency(1), 1);
+    EXPECT_LE(cfg.forwardLatency(8), 8);
+    EXPECT_GT(cfg.forwardLatency(10), cfg.forwardLatency(2));
+}
+
+TEST(PipelineConfigDeath, RejectsOutOfRangeDepths)
+{
+    EXPECT_EXIT(PipelineConfig::forDepth(1), ::testing::ExitedWithCode(1),
+                "depths");
+    EXPECT_EXIT(PipelineConfig::forDepth(31),
+                ::testing::ExitedWithCode(1), "depths");
+}
+
+TEST(PipelineConfigDeath, ValidateCatchesInconsistency)
+{
+    PipelineConfig cfg = PipelineConfig::forDepth(8);
+    cfg.depth = 9; // no longer matches unit depths
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "sum");
+}
+
+TEST(PipelineConfig, UnitNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t u = 0; u < kNumUnits; ++u)
+        names.insert(unitName(static_cast<Unit>(u)));
+    EXPECT_EQ(names.size(), kNumUnits);
+}
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the 55-workload catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/catalog.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(Catalog, FiftyFiveWorkloads)
+{
+    EXPECT_EQ(workloadCatalog().size(), 55u);
+}
+
+TEST(Catalog, ClassComposition)
+{
+    std::map<WorkloadClass, int> counts;
+    for (const auto &w : workloadCatalog())
+        ++counts[w.cls];
+    EXPECT_EQ(counts[WorkloadClass::Legacy], 15);
+    EXPECT_EQ(counts[WorkloadClass::Modern], 12);
+    EXPECT_EQ(counts[WorkloadClass::SpecInt95], 10);
+    EXPECT_EQ(counts[WorkloadClass::SpecInt2000], 8);
+    EXPECT_EQ(counts[WorkloadClass::SpecFp], 10);
+}
+
+TEST(Catalog, NamesUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (const auto &w : workloadCatalog()) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_TRUE(names.insert(w.name).second)
+            << "duplicate " << w.name;
+    }
+}
+
+TEST(Catalog, ParametersValidate)
+{
+    for (const auto &w : workloadCatalog())
+        w.gen.validate(); // fatal on failure
+    SUCCEED();
+}
+
+TEST(Catalog, StableAcrossCalls)
+{
+    const auto &a = workloadCatalog();
+    const auto &b = workloadCatalog();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].gen.seed, b[i].gen.seed);
+    }
+}
+
+TEST(Catalog, SeedsDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &w : workloadCatalog())
+        EXPECT_TRUE(seeds.insert(w.gen.seed).second) << w.name;
+}
+
+TEST(Catalog, OnlyFpClassHasFp)
+{
+    for (const auto &w : workloadCatalog()) {
+        if (w.cls == WorkloadClass::SpecFp) {
+            EXPECT_GT(w.gen.frac_fp, 0.1) << w.name;
+        } else {
+            EXPECT_LT(w.gen.frac_fp, 0.05) << w.name;
+        }
+    }
+}
+
+TEST(Catalog, LegacyIsBranchierThanSpec)
+{
+    double legacy = 0.0, spec = 0.0;
+    int nl = 0, ns = 0;
+    for (const auto &w : workloadCatalog()) {
+        if (w.cls == WorkloadClass::Legacy) {
+            legacy += w.gen.branch_frac;
+            ++nl;
+        } else if (w.cls == WorkloadClass::SpecInt95 ||
+                   w.cls == WorkloadClass::SpecInt2000) {
+            spec += w.gen.branch_frac;
+            ++ns;
+        }
+    }
+    EXPECT_GT(legacy / nl, spec / ns);
+}
+
+TEST(Catalog, LegacyHasLargerFootprints)
+{
+    double legacy_blocks = 0.0, spec_blocks = 0.0;
+    double legacy_ws = 0.0, spec_ws = 0.0;
+    int nl = 0, ns = 0;
+    for (const auto &w : workloadCatalog()) {
+        if (w.cls == WorkloadClass::Legacy) {
+            legacy_blocks += w.gen.n_blocks;
+            legacy_ws += static_cast<double>(w.gen.data_working_set);
+            ++nl;
+        } else if (w.cls == WorkloadClass::SpecInt95) {
+            spec_blocks += w.gen.n_blocks;
+            spec_ws += static_cast<double>(w.gen.data_working_set);
+            ++ns;
+        }
+    }
+    EXPECT_GT(legacy_blocks / nl, spec_blocks / ns);
+    EXPECT_GT(legacy_ws / nl, spec_ws / ns);
+}
+
+TEST(Catalog, MakeTraceDeterministicAndNamed)
+{
+    const WorkloadSpec &w = workloadCatalog().front();
+    const Trace a = w.makeTrace(5000);
+    const Trace b = w.makeTrace(5000);
+    EXPECT_EQ(a.name, w.name);
+    ASSERT_EQ(a.size(), 5000u);
+    ASSERT_EQ(b.size(), 5000u);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i].pc, b[i].pc);
+}
+
+TEST(Catalog, FindWorkload)
+{
+    const WorkloadSpec &w = findWorkload("gcc95");
+    EXPECT_EQ(w.name, "gcc95");
+    EXPECT_EQ(w.cls, WorkloadClass::SpecInt95);
+}
+
+TEST(CatalogDeath, FindUnknownIsFatal)
+{
+    EXPECT_EXIT(findWorkload("no-such-workload"),
+                ::testing::ExitedWithCode(1), "no such workload");
+}
+
+TEST(Catalog, WorkloadsOfClassFilters)
+{
+    const auto fp = workloadsOfClass(WorkloadClass::SpecFp);
+    EXPECT_EQ(fp.size(), 10u);
+    for (const auto &w : fp)
+        EXPECT_EQ(w.cls, WorkloadClass::SpecFp);
+}
+
+TEST(Catalog, ClassNames)
+{
+    EXPECT_EQ(workloadClassName(WorkloadClass::Legacy), "legacy");
+    EXPECT_EQ(workloadClassName(WorkloadClass::SpecFp), "specfp");
+}
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Calibration report: per-workload and per-class summary of the
+ * quantities that anchor the reproduction — extracted theory
+ * parameters (alpha, gamma, N_H/N_I), branch/cache behaviour, and the
+ * cubic-fit optima for the performance-only and BIPS^3/W objectives.
+ * Used when retuning the workload catalog.
+ */
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "calib/depth_sweep.hh"
+#include "workloads/catalog.hh"
+
+using namespace pipedepth;
+
+int
+main()
+{
+    struct Acc { int n=0; double a=0,g=0,h=0,perf=0,m3=0,mpki=0,dmr=0; };
+    std::map<std::string, Acc> byclass;
+    for (const auto &w : workloadCatalog()) {
+        SweepOptions opt;
+        SweepResult s = runDepthSweep(w, opt);
+        bool i1=false, i2=false;
+        const double perf = s.cubicFitPerformanceOptimum(&i1);
+        const double m3 = s.cubicFitOptimum(3.0, true, &i2);
+        const SimResult &r = s.runs[6];
+        Acc &a = byclass[workloadClassName(w.cls)];
+        a.n++; a.a += s.extracted.alpha; a.g += s.extracted.gamma;
+        a.h += s.extracted.hazard_ratio; a.perf += perf; a.m3 += m3;
+        a.mpki += 1000.0*r.mispredicts/r.instructions;
+        a.dmr += r.dcache_misses/double(r.dcache_accesses?r.dcache_accesses:1);
+        std::printf("%-12s %-12s perf=%5.1f%s m3g=%5.2f%s a=%.2f g=%.2f h=%.3f "
+                    "mpki=%4.1f dmr=%.3f cpi8=%.2f\n",
+                    w.name.c_str(), workloadClassName(w.cls).c_str(),
+                    perf, i1?"":"*", m3, i2?"":"*",
+                    s.extracted.alpha, s.extracted.gamma,
+                    s.extracted.hazard_ratio,
+                    1000.0*r.mispredicts/r.instructions,
+                    r.dcache_misses/double(r.dcache_accesses?r.dcache_accesses:1),
+                    r.cpi());
+    }
+    std::printf("\nclass averages:\n");
+    for (auto &[k, a] : byclass) {
+        std::printf("%-12s n=%2d perf=%5.1f m3g=%5.2f a=%.2f g=%.2f h=%.3f "
+                    "mpki=%4.1f dmr=%.3f\n",
+                    k.c_str(), a.n, a.perf/a.n, a.m3/a.n, a.a/a.n, a.g/a.n,
+                    a.h/a.n, a.mpki/a.n, a.dmr/a.n);
+    }
+    return 0;
+}

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * pipesim — run a trace tape (or catalog workload) through the
+ * cycle-accurate pipeline model.
+ *
+ * Usage:
+ *   pipesim (--tape FILE | --workload NAME) [--depth P | --sweep]
+ *           [--ooo] [--predictor bimodal|gshare|taken]
+ *           [--warmup N] [--csv]
+ *
+ * With --depth, prints the detailed statistics of a single run. With
+ * --sweep, simulates depths 2..25 and prints per-depth CPI, BIPS and
+ * the BIPS^3/W metric (15% leakage calibration), plus the cubic-fit
+ * optimum — the paper's per-workload experiment in one command.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "calib/extract.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "math/least_squares.hh"
+#include "power/activity_power.hh"
+#include "trace/trace_io.hh"
+#include "uarch/simulator.hh"
+#include "workloads/catalog.hh"
+
+using namespace pipedepth;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s (--tape FILE | --workload NAME) [--depth P | --sweep]\n"
+        "          [--ooo] [--predictor bimodal|gshare|taken]\n"
+        "          [--length N] [--warmup N] [--csv]\n",
+        argv0);
+    std::exit(2);
+}
+
+void
+printRun(const SimResult &r)
+{
+    std::printf("workload %s at depth %d (%.1f FO4/stage, %s)\n",
+                r.workload.c_str(), r.depth, r.cycle_time_fo4,
+                r.config.in_order ? "in-order" : "out-of-order");
+    std::printf("  instructions  %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("  cycles        %llu  (CPI %.3f)\n",
+                static_cast<unsigned long long>(r.cycles), r.cpi());
+    std::printf("  branches      %llu  (MPKI %.1f)\n",
+                static_cast<unsigned long long>(r.branches),
+                1000.0 * static_cast<double>(r.mispredicts) /
+                    static_cast<double>(r.instructions));
+    std::printf("  I$ / D$ / L2 miss rate  %.2f%% / %.2f%% / %.2f%%\n",
+                100.0 * static_cast<double>(r.icache_misses) /
+                    static_cast<double>(r.icache_accesses),
+                100.0 * static_cast<double>(r.dcache_misses) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(1, r.dcache_accesses)),
+                100.0 * static_cast<double>(r.l2_misses) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(1, r.l2_accesses)));
+
+    const double n = static_cast<double>(r.instructions);
+    std::printf("  stall cycles/instr: mispredict %.3f, icache %.3f, "
+                "dmiss %.3f,\n"
+                "                      load-dep %.3f, int-dep %.3f, "
+                "fp-dep %.3f, unit-busy %.3f\n",
+                r.mispredict_stall_cycles / n, r.icache_stall_cycles / n,
+                r.dcache_stall_cycles / n,
+                r.load_interlock_stall_cycles / n,
+                r.int_interlock_stall_cycles / n,
+                r.fp_interlock_stall_cycles / n,
+                r.unit_busy_stall_cycles / n);
+
+    const MachineParams mp = extractMachineParams(r);
+    std::printf("  extracted theory params: alpha %.2f, gamma %.2f, "
+                "N_H/N_I %.3f\n",
+                mp.alpha, mp.gamma, mp.hazard_ratio);
+
+    std::printf("  per-unit activity (share of cycles):\n");
+    for (std::size_t u = 0; u < kNumUnits; ++u) {
+        if (r.units[u].depth == 0 && r.units[u].active_cycles == 0)
+            continue;
+        std::printf("    %-8s depth %d  active %5.1f%%\n",
+                    unitName(static_cast<Unit>(u)).c_str(),
+                    r.units[u].depth,
+                    100.0 * static_cast<double>(r.units[u].active_cycles) /
+                        static_cast<double>(r.cycles));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string tape, workload;
+    int depth = 8;
+    bool sweep = false;
+    bool ooo = false;
+    bool csv = false;
+    std::size_t length = 200000;
+    std::size_t warmup = 60000;
+    PredictorKind predictor = PredictorKind::Bimodal;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tape" && i + 1 < argc) {
+            tape = argv[++i];
+        } else if (arg == "--workload" && i + 1 < argc) {
+            workload = argv[++i];
+        } else if (arg == "--depth" && i + 1 < argc) {
+            depth = std::atoi(argv[++i]);
+        } else if (arg == "--sweep") {
+            sweep = true;
+        } else if (arg == "--ooo") {
+            ooo = true;
+        } else if (arg == "--length" && i + 1 < argc) {
+            length = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--warmup" && i + 1 < argc) {
+            warmup = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--predictor" && i + 1 < argc) {
+            const std::string kind = argv[++i];
+            if (kind == "bimodal")
+                predictor = PredictorKind::Bimodal;
+            else if (kind == "gshare")
+                predictor = PredictorKind::Gshare;
+            else if (kind == "taken")
+                predictor = PredictorKind::AlwaysTaken;
+            else
+                usage(argv[0]);
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (tape.empty() == workload.empty())
+        usage(argv[0]); // exactly one source
+
+    const Trace trace = tape.empty()
+                            ? findWorkload(workload).makeTrace(length)
+                            : readTrace(tape);
+
+    auto configure = [&](int p) {
+        PipelineConfig cfg = PipelineConfig::forDepth(p, !ooo);
+        cfg.predictor = predictor;
+        cfg.warmup_instructions = warmup;
+        return cfg;
+    };
+
+    if (!sweep) {
+        printRun(simulate(trace, configure(depth)));
+        return 0;
+    }
+
+    const int min_depth = ooo ? 3 : 2;
+    std::vector<SimResult> runs;
+    runs.reserve(24);
+    const SimResult *ref = nullptr;
+    for (int p = min_depth; p <= 25; ++p) {
+        runs.push_back(simulate(trace, configure(p)));
+        if (p == 8)
+            ref = &runs.back();
+    }
+    PP_ASSERT(ref, "reference depth missing from sweep");
+    ActivityPowerModel power;
+    power = power.withLeakageFraction(*ref, 0.15);
+
+    TableWriter t(csv ? TableWriter::Style::Csv
+                      : TableWriter::Style::Aligned);
+    t.addColumn("depth", 0);
+    t.addColumn("FO4", 1);
+    t.addColumn("CPI", 3);
+    t.addColumn("BIPS_rel", 3);
+    t.addColumn("BIPS3_W_rel", 3);
+
+    std::vector<double> depths, metric;
+    double bips_peak = 0.0, metric_peak = 0.0;
+    for (const auto &r : runs) {
+        depths.push_back(r.depth);
+        metric.push_back(power.metric(r, 3.0, true));
+        bips_peak = std::max(bips_peak, r.bips());
+        metric_peak = std::max(metric_peak, metric.back());
+    }
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        t.beginRow();
+        t.cell(runs[i].depth);
+        t.cell(runs[i].cycle_time_fo4);
+        t.cell(runs[i].cpi());
+        t.cell(runs[i].bips() / bips_peak);
+        t.cell(metric[i] / metric_peak);
+    }
+    t.render(std::cout);
+
+    const CubicPeak peak = fitCubicPeak(depths, metric);
+    if (!csv) {
+        std::printf("\nBIPS^3/W cubic-fit optimum: %.1f stages%s\n",
+                    peak.x, peak.interior ? "" : " (endpoint)");
+    }
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * tracegen — write synthetic workload trace tapes to disk.
+ *
+ * Usage:
+ *   tracegen --workload NAME [--length N] [--out FILE]
+ *   tracegen --all [--length N] [--out-dir DIR]
+ *   tracegen --list
+ *
+ * Tapes use the binary .pptr format (see trace/trace_io.hh) and can
+ * be replayed with `pipesim`. The same workload name and length
+ * always produce a byte-identical tape.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "common/logging.hh"
+#include "trace/trace_io.hh"
+#include "workloads/catalog.hh"
+
+using namespace pipedepth;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --workload NAME [--length N] [--out FILE]\n"
+                 "       %s --all [--length N] [--out-dir DIR]\n"
+                 "       %s --list\n",
+                 argv0, argv0, argv0);
+    std::exit(2);
+}
+
+void
+writeOne(const WorkloadSpec &spec, std::size_t length,
+         const std::string &path)
+{
+    const Trace trace = spec.makeTrace(length);
+    writeTrace(trace, path);
+    const TraceMix mix = computeMix(trace);
+    std::printf("%-12s %8zu instrs  branches %.1f%%  mem %.1f%%  fp "
+                "%.1f%%  -> %s\n",
+                spec.name.c_str(), trace.size(),
+                100.0 * mix.frac(mix.branches),
+                100.0 * mix.frac(mix.mem_ops),
+                100.0 * mix.frac(mix.fp_ops), path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string out;
+    std::string out_dir = ".";
+    std::size_t length = 200000;
+    bool all = false;
+    bool list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workload" && i + 1 < argc) {
+            workload = argv[++i];
+        } else if (arg == "--length" && i + 1 < argc) {
+            length = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (arg == "--out-dir" && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (list) {
+        std::printf("%-12s %-12s %8s %8s\n", "name", "class", "blocks",
+                    "ws_KiB");
+        for (const auto &w : workloadCatalog()) {
+            std::printf("%-12s %-12s %8d %8llu\n", w.name.c_str(),
+                        workloadClassName(w.cls).c_str(), w.gen.n_blocks,
+                        static_cast<unsigned long long>(
+                            w.gen.data_working_set / 1024));
+        }
+        return 0;
+    }
+
+    if (all) {
+        std::filesystem::create_directories(out_dir);
+        for (const auto &w : workloadCatalog())
+            writeOne(w, length, out_dir + "/" + w.name + ".pptr");
+        return 0;
+    }
+
+    if (workload.empty())
+        usage(argv[0]);
+    const WorkloadSpec &spec = findWorkload(workload);
+    if (out.empty())
+        out = spec.name + ".pptr";
+    writeOne(spec, length, out);
+    return 0;
+}
