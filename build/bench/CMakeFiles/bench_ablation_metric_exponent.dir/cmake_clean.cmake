@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_metric_exponent.dir/bench_ablation_metric_exponent.cc.o"
+  "CMakeFiles/bench_ablation_metric_exponent.dir/bench_ablation_metric_exponent.cc.o.d"
+  "bench_ablation_metric_exponent"
+  "bench_ablation_metric_exponent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_metric_exponent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

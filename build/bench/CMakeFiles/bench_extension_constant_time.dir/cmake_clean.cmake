@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_constant_time.dir/bench_extension_constant_time.cc.o"
+  "CMakeFiles/bench_extension_constant_time.dir/bench_extension_constant_time.cc.o.d"
+  "bench_extension_constant_time"
+  "bench_extension_constant_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_constant_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_quartic.dir/bench_fig1_quartic.cc.o"
+  "CMakeFiles/bench_fig1_quartic.dir/bench_fig1_quartic.cc.o.d"
+  "bench_fig1_quartic"
+  "bench_fig1_quartic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_quartic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_metric_vs_depth.dir/bench_fig4_metric_vs_depth.cc.o"
+  "CMakeFiles/bench_fig4_metric_vs_depth.dir/bench_fig4_metric_vs_depth.cc.o.d"
+  "bench_fig4_metric_vs_depth"
+  "bench_fig4_metric_vs_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_metric_vs_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

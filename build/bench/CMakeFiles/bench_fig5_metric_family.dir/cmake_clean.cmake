@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_metric_family.dir/bench_fig5_metric_family.cc.o"
+  "CMakeFiles/bench_fig5_metric_family.dir/bench_fig5_metric_family.cc.o.d"
+  "bench_fig5_metric_family"
+  "bench_fig5_metric_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_metric_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

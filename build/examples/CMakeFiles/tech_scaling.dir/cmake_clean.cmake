@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_scaling.dir/tech_scaling.cpp.o"
+  "CMakeFiles/tech_scaling.dir/tech_scaling.cpp.o.d"
+  "tech_scaling"
+  "tech_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_branch.dir/predictor.cc.o"
+  "CMakeFiles/pp_branch.dir/predictor.cc.o.d"
+  "libpp_branch.a"
+  "libpp_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_cache.dir/cache.cc.o"
+  "CMakeFiles/pp_cache.dir/cache.cc.o.d"
+  "libpp_cache.a"
+  "libpp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

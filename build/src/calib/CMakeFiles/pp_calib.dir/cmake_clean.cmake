@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_calib.dir/depth_sweep.cc.o"
+  "CMakeFiles/pp_calib.dir/depth_sweep.cc.o.d"
+  "CMakeFiles/pp_calib.dir/extract.cc.o"
+  "CMakeFiles/pp_calib.dir/extract.cc.o.d"
+  "libpp_calib.a"
+  "libpp_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

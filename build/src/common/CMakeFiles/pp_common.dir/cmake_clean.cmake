@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_common.dir/logging.cc.o"
+  "CMakeFiles/pp_common.dir/logging.cc.o.d"
+  "CMakeFiles/pp_common.dir/rng.cc.o"
+  "CMakeFiles/pp_common.dir/rng.cc.o.d"
+  "CMakeFiles/pp_common.dir/table.cc.o"
+  "CMakeFiles/pp_common.dir/table.cc.o.d"
+  "libpp_common.a"
+  "libpp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

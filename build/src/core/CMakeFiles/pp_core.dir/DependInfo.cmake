@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/metric.cc" "src/core/CMakeFiles/pp_core.dir/metric.cc.o" "gcc" "src/core/CMakeFiles/pp_core.dir/metric.cc.o.d"
+  "/root/repo/src/core/optimum_solver.cc" "src/core/CMakeFiles/pp_core.dir/optimum_solver.cc.o" "gcc" "src/core/CMakeFiles/pp_core.dir/optimum_solver.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/pp_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/pp_core.dir/params.cc.o.d"
+  "/root/repo/src/core/performance_model.cc" "src/core/CMakeFiles/pp_core.dir/performance_model.cc.o" "gcc" "src/core/CMakeFiles/pp_core.dir/performance_model.cc.o.d"
+  "/root/repo/src/core/power_model.cc" "src/core/CMakeFiles/pp_core.dir/power_model.cc.o" "gcc" "src/core/CMakeFiles/pp_core.dir/power_model.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/core/CMakeFiles/pp_core.dir/sensitivity.cc.o" "gcc" "src/core/CMakeFiles/pp_core.dir/sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/pp_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_core.dir/metric.cc.o"
+  "CMakeFiles/pp_core.dir/metric.cc.o.d"
+  "CMakeFiles/pp_core.dir/optimum_solver.cc.o"
+  "CMakeFiles/pp_core.dir/optimum_solver.cc.o.d"
+  "CMakeFiles/pp_core.dir/params.cc.o"
+  "CMakeFiles/pp_core.dir/params.cc.o.d"
+  "CMakeFiles/pp_core.dir/performance_model.cc.o"
+  "CMakeFiles/pp_core.dir/performance_model.cc.o.d"
+  "CMakeFiles/pp_core.dir/power_model.cc.o"
+  "CMakeFiles/pp_core.dir/power_model.cc.o.d"
+  "CMakeFiles/pp_core.dir/sensitivity.cc.o"
+  "CMakeFiles/pp_core.dir/sensitivity.cc.o.d"
+  "libpp_core.a"
+  "libpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_isa.dir/isa.cc.o"
+  "CMakeFiles/pp_isa.dir/isa.cc.o.d"
+  "libpp_isa.a"
+  "libpp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/least_squares.cc" "src/math/CMakeFiles/pp_math.dir/least_squares.cc.o" "gcc" "src/math/CMakeFiles/pp_math.dir/least_squares.cc.o.d"
+  "/root/repo/src/math/optimize.cc" "src/math/CMakeFiles/pp_math.dir/optimize.cc.o" "gcc" "src/math/CMakeFiles/pp_math.dir/optimize.cc.o.d"
+  "/root/repo/src/math/poly.cc" "src/math/CMakeFiles/pp_math.dir/poly.cc.o" "gcc" "src/math/CMakeFiles/pp_math.dir/poly.cc.o.d"
+  "/root/repo/src/math/roots.cc" "src/math/CMakeFiles/pp_math.dir/roots.cc.o" "gcc" "src/math/CMakeFiles/pp_math.dir/roots.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_math.dir/least_squares.cc.o"
+  "CMakeFiles/pp_math.dir/least_squares.cc.o.d"
+  "CMakeFiles/pp_math.dir/optimize.cc.o"
+  "CMakeFiles/pp_math.dir/optimize.cc.o.d"
+  "CMakeFiles/pp_math.dir/poly.cc.o"
+  "CMakeFiles/pp_math.dir/poly.cc.o.d"
+  "CMakeFiles/pp_math.dir/roots.cc.o"
+  "CMakeFiles/pp_math.dir/roots.cc.o.d"
+  "libpp_math.a"
+  "libpp_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_power.dir/activity_power.cc.o"
+  "CMakeFiles/pp_power.dir/activity_power.cc.o.d"
+  "libpp_power.a"
+  "libpp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_stats.dir/stats.cc.o"
+  "CMakeFiles/pp_stats.dir/stats.cc.o.d"
+  "libpp_stats.a"
+  "libpp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_trace.dir/generator.cc.o"
+  "CMakeFiles/pp_trace.dir/generator.cc.o.d"
+  "CMakeFiles/pp_trace.dir/trace.cc.o"
+  "CMakeFiles/pp_trace.dir/trace.cc.o.d"
+  "CMakeFiles/pp_trace.dir/trace_io.cc.o"
+  "CMakeFiles/pp_trace.dir/trace_io.cc.o.d"
+  "libpp_trace.a"
+  "libpp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/pipeline_config.cc" "src/uarch/CMakeFiles/pp_uarch.dir/pipeline_config.cc.o" "gcc" "src/uarch/CMakeFiles/pp_uarch.dir/pipeline_config.cc.o.d"
+  "/root/repo/src/uarch/sim_result.cc" "src/uarch/CMakeFiles/pp_uarch.dir/sim_result.cc.o" "gcc" "src/uarch/CMakeFiles/pp_uarch.dir/sim_result.cc.o.d"
+  "/root/repo/src/uarch/simulator.cc" "src/uarch/CMakeFiles/pp_uarch.dir/simulator.cc.o" "gcc" "src/uarch/CMakeFiles/pp_uarch.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/pp_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pp_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_uarch.dir/pipeline_config.cc.o"
+  "CMakeFiles/pp_uarch.dir/pipeline_config.cc.o.d"
+  "CMakeFiles/pp_uarch.dir/sim_result.cc.o"
+  "CMakeFiles/pp_uarch.dir/sim_result.cc.o.d"
+  "CMakeFiles/pp_uarch.dir/simulator.cc.o"
+  "CMakeFiles/pp_uarch.dir/simulator.cc.o.d"
+  "libpp_uarch.a"
+  "libpp_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

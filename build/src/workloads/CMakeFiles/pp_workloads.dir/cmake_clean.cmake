@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_workloads.dir/catalog.cc.o"
+  "CMakeFiles/pp_workloads.dir/catalog.cc.o.d"
+  "libpp_workloads.a"
+  "libpp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

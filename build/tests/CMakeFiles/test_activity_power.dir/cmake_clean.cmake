@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_activity_power.dir/power/test_activity_power.cc.o"
+  "CMakeFiles/test_activity_power.dir/power/test_activity_power.cc.o.d"
+  "test_activity_power"
+  "test_activity_power.pdb"
+  "test_activity_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_activity_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

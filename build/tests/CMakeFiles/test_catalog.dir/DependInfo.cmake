@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/test_catalog.cc" "tests/CMakeFiles/test_catalog.dir/workloads/test_catalog.cc.o" "gcc" "tests/CMakeFiles/test_catalog.dir/workloads/test_catalog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/calib/CMakeFiles/pp_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/pp_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/pp_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/pp_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

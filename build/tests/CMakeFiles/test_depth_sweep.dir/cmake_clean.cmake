@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depth_sweep.dir/calib/test_depth_sweep.cc.o"
+  "CMakeFiles/test_depth_sweep.dir/calib/test_depth_sweep.cc.o.d"
+  "test_depth_sweep"
+  "test_depth_sweep.pdb"
+  "test_depth_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

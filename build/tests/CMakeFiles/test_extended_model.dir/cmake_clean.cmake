@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_model.dir/core/test_extended_model.cc.o"
+  "CMakeFiles/test_extended_model.dir/core/test_extended_model.cc.o.d"
+  "test_extended_model"
+  "test_extended_model.pdb"
+  "test_extended_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_dependences.dir/uarch/test_memory_dependences.cc.o"
+  "CMakeFiles/test_memory_dependences.dir/uarch/test_memory_dependences.cc.o.d"
+  "test_memory_dependences"
+  "test_memory_dependences.pdb"
+  "test_memory_dependences[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_dependences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

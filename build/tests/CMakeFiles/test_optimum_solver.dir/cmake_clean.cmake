@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimum_solver.dir/core/test_optimum_solver.cc.o"
+  "CMakeFiles/test_optimum_solver.dir/core/test_optimum_solver.cc.o.d"
+  "test_optimum_solver"
+  "test_optimum_solver.pdb"
+  "test_optimum_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimum_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

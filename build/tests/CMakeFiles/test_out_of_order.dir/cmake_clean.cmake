@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_out_of_order.dir/uarch/test_out_of_order.cc.o"
+  "CMakeFiles/test_out_of_order.dir/uarch/test_out_of_order.cc.o.d"
+  "test_out_of_order"
+  "test_out_of_order.pdb"
+  "test_out_of_order[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_out_of_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

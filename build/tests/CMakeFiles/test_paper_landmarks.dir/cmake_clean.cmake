@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_landmarks.dir/integration/test_paper_landmarks.cc.o"
+  "CMakeFiles/test_paper_landmarks.dir/integration/test_paper_landmarks.cc.o.d"
+  "test_paper_landmarks"
+  "test_paper_landmarks.pdb"
+  "test_paper_landmarks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_landmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

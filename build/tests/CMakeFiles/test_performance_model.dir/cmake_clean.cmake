@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_performance_model.dir/core/test_performance_model.cc.o"
+  "CMakeFiles/test_performance_model.dir/core/test_performance_model.cc.o.d"
+  "test_performance_model"
+  "test_performance_model.pdb"
+  "test_performance_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_performance_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_config.dir/uarch/test_pipeline_config.cc.o"
+  "CMakeFiles/test_pipeline_config.dir/uarch/test_pipeline_config.cc.o.d"
+  "test_pipeline_config"
+  "test_pipeline_config.pdb"
+  "test_pipeline_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

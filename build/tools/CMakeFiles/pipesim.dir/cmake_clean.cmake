@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipesim.dir/pipesim.cc.o"
+  "CMakeFiles/pipesim.dir/pipesim.cc.o.d"
+  "pipesim"
+  "pipesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
