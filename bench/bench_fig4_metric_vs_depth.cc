@@ -21,11 +21,10 @@ namespace
 {
 
 void
-oneWorkload(const BenchOptions &opt, const char *figure,
-            const char *name)
+oneWorkload(SweepEngine &engine, const BenchOptions &opt,
+            const char *figure, const char *name)
 {
-    const SweepResult sweep =
-        runDepthSweep(findWorkload(name), opt.sweepOptions());
+    const SweepResult sweep = sweepWorkload(engine, opt, name);
 
     const auto sim_g = sweep.metric(3.0, true);
     const auto sim_u = sweep.metric(3.0, false);
@@ -82,8 +81,10 @@ int
 main(int argc, char **argv)
 {
     const BenchOptions opt = parseBenchOptions(argc, argv);
-    oneWorkload(opt, "4a", "websrv"); // modern
-    oneWorkload(opt, "4b", "gcc95");  // SPECint
-    oneWorkload(opt, "4c", "swim");   // floating point
+    SweepEngine engine(opt.engineOptions());
+    oneWorkload(engine, opt, "4a", "websrv"); // modern
+    oneWorkload(engine, opt, "4b", "gcc95");  // SPECint
+    oneWorkload(engine, opt, "4c", "swim");   // floating point
+    engine.printSummary(std::cerr);
     return 0;
 }

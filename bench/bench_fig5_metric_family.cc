@@ -19,8 +19,8 @@ int
 main(int argc, char **argv)
 {
     const BenchOptions opt = parseBenchOptions(argc, argv);
-    const SweepResult sweep =
-        runDepthSweep(findWorkload("websrv"), opt.sweepOptions());
+    SweepEngine engine(opt.engineOptions());
+    const SweepResult sweep = sweepWorkload(engine, opt, "websrv");
 
     const auto bips = sweep.bips();
     const auto m1 = sweep.metric(1.0, true);
@@ -75,5 +75,6 @@ main(int argc, char **argv)
         std::printf("paper: peaks for BIPS (~20) and BIPS^3/W (~7); "
                     "none for BIPS^2/W and BIPS/W\n");
     }
+    engine.printSummary(std::cerr);
     return 0;
 }

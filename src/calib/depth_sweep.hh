@@ -1,101 +1,14 @@
 /**
  * @file
- * Depth sweeps: the experiment driver behind every figure.
- *
- * A DepthSweep simulates one workload at a range of pipeline depths
- * (the paper uses 2..25), computes the power/performance metric per
- * depth for either gating mode, extracts the simulated optimum with
- * the paper's blind cubic fit, and overlays the analytic theory
- * (parameters extracted from a single reference run, one fitted scale
- * factor) exactly as in Figs. 4 and 5.
+ * Compatibility forward: the depth-sweep driver moved to src/sweep/
+ * when the SweepEngine (parallel grid scheduling + on-disk result
+ * cache) was introduced. Include "sweep/depth_sweep.hh" — or
+ * "sweep/sweep_engine.hh" for multi-workload grids — in new code.
  */
 
 #ifndef PIPEDEPTH_CALIB_DEPTH_SWEEP_HH
 #define PIPEDEPTH_CALIB_DEPTH_SWEEP_HH
 
-#include <vector>
-
-#include "core/params.hh"
-#include "power/activity_power.hh"
-#include "trace/trace.hh"
-#include "uarch/sim_result.hh"
-#include "workloads/catalog.hh"
-
-namespace pipedepth
-{
-
-/** Options of a sweep. */
-struct SweepOptions
-{
-    int min_depth = 2;
-    int max_depth = 25;
-    int reference_depth = 8;   //!< depth used for parameter extraction
-    std::size_t trace_length = 200000;
-    std::size_t warmup_instructions = 60000; //!< structure warm-up
-    double p_d = 1.0;          //!< dynamic energy per latch-cycle
-    double leakage_fraction = 0.15; //!< of gated power at the reference
-    bool in_order = true;
-};
-
-/** All simulation results of one workload across depths. */
-struct SweepResult
-{
-    WorkloadSpec spec;
-    SweepOptions options;
-    std::vector<SimResult> runs;      //!< one per depth, ascending
-    ActivityPowerModel power_model;   //!< with calibrated leakage
-    MachineParams extracted;          //!< theory params (reference run)
-
-    /** Depths as doubles (x axis of every figure). */
-    std::vector<double> depths() const;
-
-    /** Simulated metric BIPS^m/W per depth. */
-    std::vector<double> metric(double m, bool gated) const;
-
-    /** Simulated BIPS per depth (the m -> infinity metric). */
-    std::vector<double> bips() const;
-
-    /**
-     * The paper's simulated optimum: blind least-squares cubic fit
-     * through metric(m) samples, peak within the sampled range.
-     * Returns the peak depth; interior=false collapses to an
-     * endpoint.
-     */
-    double cubicFitOptimum(double m, bool gated, bool *interior) const;
-
-    /** As above for the BIPS (performance-only) curve. */
-    double cubicFitPerformanceOptimum(bool *interior) const;
-
-    /**
-     * Analytic theory curve for the same metric, scaled to the
-     * simulation with a single least-squares factor (the paper's
-     * "only adjustable parameter"). Returns one value per depth;
-     * r2 (optional) receives the goodness of fit.
-     *
-     * With @p extended = false (default) the paper's Eq. 1 is used
-     * (c_mem forced to zero). With extended = true the
-     * constant-absolute-time extension is enabled, which markedly
-     * improves the fit on memory- and FP-heavy workloads (see
-     * EXPERIMENTS.md).
-     */
-    std::vector<double> theoryCurve(double m, bool gated,
-                                    double *r2 = nullptr,
-                                    bool extended = false) const;
-
-    /** Latch counts per depth as measured by the power model. */
-    std::vector<double> latchCounts() const;
-};
-
-/** Run the full sweep for one workload. */
-SweepResult runDepthSweep(const WorkloadSpec &spec,
-                          const SweepOptions &options = {});
-
-/**
- * Measured overall latch-growth exponent (Fig. 3): power-law fit of
- * latchCounts() against depth.
- */
-double measuredLatchExponent(const SweepResult &sweep);
-
-} // namespace pipedepth
+#include "sweep/depth_sweep.hh"
 
 #endif // PIPEDEPTH_CALIB_DEPTH_SWEEP_HH

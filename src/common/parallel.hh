@@ -6,13 +6,29 @@
  * cycle-accurate simulation; parallelMap spreads independent work
  * items over hardware threads. Results keep input order, and
  * exceptions propagate to the caller.
+ *
+ * Scheduling is chunked work stealing: workers grab @p chunk
+ * consecutive indices at a time from a shared atomic cursor, which
+ * amortizes contention on the cursor when items are tiny (per-cell
+ * simulation cache hits) while still balancing load when they are not
+ * (cold cycle-accurate runs of very different lengths).
+ *
+ * Failure semantics, pinned by tests/common/test_parallel.cc:
+ *  - every worker is joined before parallelMap returns or throws;
+ *  - once any item has thrown, remaining items are skipped (workers
+ *    check the failure flag before each item, including within a
+ *    chunk);
+ *  - the exception rethrown is the *first* error: the one raised by
+ *    the lowest item index among the items that actually failed.
  */
 
 #ifndef PIPEDEPTH_COMMON_PARALLEL_HH
 #define PIPEDEPTH_COMMON_PARALLEL_HH
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -23,16 +39,22 @@ namespace pipedepth
  * Apply @p fn to every element of @p items on up to @p threads
  * workers; returns results in input order. fn must be safe to call
  * concurrently on distinct items.
+ *
+ * @param threads worker count; 0 = hardware concurrency
+ * @param chunk   consecutive items claimed per scheduling step
  */
 template <typename T, typename Fn>
 auto
-parallelMap(const std::vector<T> &items, Fn fn, unsigned threads = 0)
+parallelMap(const std::vector<T> &items, Fn fn, unsigned threads = 0,
+            std::size_t chunk = 1)
     -> std::vector<decltype(fn(items.front()))>
 {
     using R = decltype(fn(items.front()));
     std::vector<R> results(items.size());
     if (items.empty())
         return results;
+    if (chunk == 0)
+        chunk = 1;
 
     if (threads == 0)
         threads = std::thread::hardware_concurrency();
@@ -41,37 +63,60 @@ parallelMap(const std::vector<T> &items, Fn fn, unsigned threads = 0)
     if (threads > items.size())
         threads = static_cast<unsigned>(items.size());
 
-    if (threads == 1) {
-        for (std::size_t i = 0; i < items.size(); ++i)
-            results[i] = fn(items[i]);
-        return results;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr error;
     std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::size_t error_index = 0;
 
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= items.size() || failed.load())
+    auto recordError = [&](std::size_t i) {
+        {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error || i < error_index) {
+                error = std::current_exception();
+                error_index = i;
+            }
+        }
+        failed.store(true, std::memory_order_release);
+    };
+
+    // Run [begin, end); stops early (without claiming more work) as
+    // soon as any worker has failed.
+    auto runRange = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            if (failed.load(std::memory_order_acquire))
                 return;
             try {
                 results[i] = fn(items[i]);
             } catch (...) {
-                if (!failed.exchange(true))
-                    error = std::current_exception();
+                recordError(i);
                 return;
             }
         }
     };
 
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &th : pool)
-        th.join();
+    if (threads == 1) {
+        runRange(0, items.size());
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            for (;;) {
+                const std::size_t begin =
+                    next.fetch_add(chunk, std::memory_order_relaxed);
+                if (begin >= items.size() ||
+                    failed.load(std::memory_order_acquire)) {
+                    return;
+                }
+                runRange(begin, std::min(items.size(), begin + chunk));
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
 
     if (failed.load() && error)
         std::rethrow_exception(error);

@@ -1,0 +1,130 @@
+#include "sweep/depth_sweep.hh"
+
+#include <cmath>
+
+#include "calib/extract.hh"
+#include "common/logging.hh"
+#include "core/metric.hh"
+#include "math/least_squares.hh"
+#include "sweep/sweep_engine.hh"
+
+namespace pipedepth
+{
+
+PipelineConfig
+SweepOptions::configAtDepth(int depth) const
+{
+    PipelineConfig config = PipelineConfig::forDepth(depth, in_order, policy);
+    config.warmup_instructions = warmup_instructions;
+    config.predictor = predictor;
+    return config;
+}
+
+std::vector<double>
+SweepResult::depths() const
+{
+    std::vector<double> out;
+    out.reserve(runs.size());
+    for (const auto &r : runs)
+        out.push_back(static_cast<double>(r.depth));
+    return out;
+}
+
+std::vector<double>
+SweepResult::metric(double m, bool gated) const
+{
+    std::vector<double> out;
+    out.reserve(runs.size());
+    for (const auto &r : runs)
+        out.push_back(power_model.metric(r, m, gated));
+    return out;
+}
+
+std::vector<double>
+SweepResult::bips() const
+{
+    std::vector<double> out;
+    out.reserve(runs.size());
+    for (const auto &r : runs)
+        out.push_back(r.bips());
+    return out;
+}
+
+double
+SweepResult::cubicFitOptimum(double m, bool gated, bool *interior) const
+{
+    const CubicPeak peak = fitCubicPeak(depths(), metric(m, gated));
+    if (interior)
+        *interior = peak.interior;
+    return peak.x;
+}
+
+double
+SweepResult::cubicFitPerformanceOptimum(bool *interior) const
+{
+    const CubicPeak peak = fitCubicPeak(depths(), bips());
+    if (interior)
+        *interior = peak.interior;
+    return peak.x;
+}
+
+std::vector<double>
+SweepResult::theoryCurve(double m, bool gated, double *r2,
+                         bool extended) const
+{
+    // Analytic metric with the extracted parameters; the theory's
+    // power parameters mirror the simulation power model: same p_d,
+    // same leakage fraction at the reference depth, and the per-unit
+    // latch exponent beta.
+    MachineParams mp = extracted;
+    if (!extended)
+        mp.c_mem = 0.0; // the paper's Eq. 1
+    PowerParams pw;
+    pw.p_d = options.p_d;
+    pw.beta = power_model.factors().beta_unit;
+    pw.gating = gated ? ClockGating::FineGrained : ClockGating::None;
+    pw = PowerModel::calibrateLeakage(
+        mp, pw, options.leakage_fraction,
+        static_cast<double>(options.reference_depth));
+
+    const PowerPerformanceMetric theory(mp, pw, m);
+    std::vector<double> t;
+    t.reserve(runs.size());
+    for (const auto &r : runs)
+        t.push_back(theory(static_cast<double>(r.depth)));
+
+    const std::vector<double> sim = metric(m, gated);
+    const double scale = fitScaleFactor(sim, t);
+    for (auto &v : t)
+        v *= scale;
+    if (r2)
+        *r2 = rSquared(sim, t);
+    return t;
+}
+
+std::vector<double>
+SweepResult::latchCounts() const
+{
+    std::vector<double> out;
+    out.reserve(runs.size());
+    for (const auto &r : runs)
+        out.push_back(power_model.latchCount(r.config));
+    return out;
+}
+
+SweepResult
+runDepthSweep(const WorkloadSpec &spec, const SweepOptions &options)
+{
+    SweepEngine engine;
+    return engine.runSweep(spec, options);
+}
+
+double
+measuredLatchExponent(const SweepResult &sweep)
+{
+    const PowerLawFit fit =
+        fitPowerLaw(sweep.depths(), sweep.latchCounts());
+    return fit.k;
+}
+
+} // namespace pipedepth

@@ -1,0 +1,321 @@
+#include "sweep/result_cache.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+namespace
+{
+
+// Entry framing: magic, format version, payload size, FNV-1a checksum
+// of the payload, then the payload itself.
+constexpr char kMagic[4] = {'P', 'D', 'S', 'R'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 8;
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::size_t i = 0; i < size; ++i)
+        h = (h ^ data[i]) * 1099511628211ull;
+    return h;
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+/** Cursor over an entry's bytes; reads fail sticky on exhaustion. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        if (!take(4))
+            return 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_ - 4 + i]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        if (!take(8))
+            return 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ - 8 + i]) << (8 * i);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    bool ok() const { return ok_; }
+    bool exhausted() const { return pos_ == size_; }
+
+  private:
+    bool
+    take(std::size_t n)
+    {
+        if (!ok_ || size_ - pos_ < n) {
+            ok_ = false;
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+std::vector<std::uint8_t>
+payloadOf(const SimResult &r)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(512);
+    putU64(out, static_cast<std::uint64_t>(r.depth));
+    putF64(out, r.cycle_time_fo4);
+    putU64(out, r.instructions);
+    putU64(out, r.cycles);
+    putU64(out, r.branches);
+    putU64(out, r.mispredicts);
+    putU64(out, r.icache_accesses);
+    putU64(out, r.icache_misses);
+    putU64(out, r.dcache_accesses);
+    putU64(out, r.dcache_misses);
+    putU64(out, r.l2_accesses);
+    putU64(out, r.l2_misses);
+    putU64(out, r.mispredict_events);
+    putU64(out, r.load_interlock_events);
+    putU64(out, r.fp_interlock_events);
+    putU64(out, r.int_interlock_events);
+    putU64(out, r.dcache_miss_events);
+    putU64(out, r.mispredict_stall_cycles);
+    putU64(out, r.icache_stall_cycles);
+    putU64(out, r.dcache_stall_cycles);
+    putU64(out, r.load_interlock_stall_cycles);
+    putU64(out, r.fp_interlock_stall_cycles);
+    putU64(out, r.int_interlock_stall_cycles);
+    putU64(out, r.unit_busy_stall_cycles);
+    putU64(out, r.other_stall_cycles);
+    for (const auto &u : r.units) {
+        putU64(out, static_cast<std::uint64_t>(u.depth));
+        putU64(out, u.active_cycles);
+        putU64(out, u.occupancy);
+        putU64(out, u.ops);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeSimResult(const SimResult &result)
+{
+    const std::vector<std::uint8_t> payload = payloadOf(result);
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderSize + payload.size());
+    out.insert(out.end(), kMagic, kMagic + 4);
+    putU32(out, kFormatVersion);
+    putU64(out, payload.size());
+    putU64(out, fnv1a(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+bool
+deserializeSimResult(const std::vector<std::uint8_t> &bytes, SimResult *out)
+{
+    if (bytes.size() < kHeaderSize)
+        return false;
+    if (std::memcmp(bytes.data(), kMagic, 4) != 0)
+        return false;
+    Reader header(bytes.data() + 4, kHeaderSize - 4);
+    if (header.u32() != kFormatVersion)
+        return false;
+    const std::uint64_t payload_size = header.u64();
+    const std::uint64_t checksum = header.u64();
+    if (bytes.size() != kHeaderSize + payload_size)
+        return false;
+    if (fnv1a(bytes.data() + kHeaderSize, payload_size) != checksum)
+        return false;
+
+    Reader r(bytes.data() + kHeaderSize, payload_size);
+    SimResult res;
+    res.depth = static_cast<int>(r.u64());
+    res.cycle_time_fo4 = r.f64();
+    res.instructions = r.u64();
+    res.cycles = r.u64();
+    res.branches = r.u64();
+    res.mispredicts = r.u64();
+    res.icache_accesses = r.u64();
+    res.icache_misses = r.u64();
+    res.dcache_accesses = r.u64();
+    res.dcache_misses = r.u64();
+    res.l2_accesses = r.u64();
+    res.l2_misses = r.u64();
+    res.mispredict_events = r.u64();
+    res.load_interlock_events = r.u64();
+    res.fp_interlock_events = r.u64();
+    res.int_interlock_events = r.u64();
+    res.dcache_miss_events = r.u64();
+    res.mispredict_stall_cycles = r.u64();
+    res.icache_stall_cycles = r.u64();
+    res.dcache_stall_cycles = r.u64();
+    res.load_interlock_stall_cycles = r.u64();
+    res.fp_interlock_stall_cycles = r.u64();
+    res.int_interlock_stall_cycles = r.u64();
+    res.unit_busy_stall_cycles = r.u64();
+    res.other_stall_cycles = r.u64();
+    for (auto &u : res.units) {
+        u.depth = static_cast<int>(r.u64());
+        u.active_cycles = r.u64();
+        u.occupancy = r.u64();
+        u.ops = r.u64();
+    }
+    if (!r.ok() || !r.exhausted())
+        return false;
+    *out = res;
+    return true;
+}
+
+ResultCache::ResultCache(const std::string &dir) : dir_(dir)
+{
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        PP_WARN("sweep cache disabled: cannot create '", dir_, "': ",
+                ec.message());
+        dir_.clear();
+    }
+}
+
+std::string
+ResultCache::resolveDefaultDir()
+{
+    if (const char *env = std::getenv("PIPEDEPTH_CACHE_DIR"))
+        return env; // may be "", meaning: caching off
+    if (const char *xdg = std::getenv("XDG_CACHE_HOME")) {
+        if (*xdg)
+            return std::string(xdg) + "/pipedepth";
+    }
+    if (const char *home = std::getenv("HOME")) {
+        if (*home)
+            return std::string(home) + "/.cache/pipedepth";
+    }
+    return ".pipedepth-cache";
+}
+
+std::string
+ResultCache::entryPath(const CacheKey &key) const
+{
+    return dir_ + "/" + key.hex() + ".simres";
+}
+
+std::optional<SimResult>
+ResultCache::load(const CacheKey &key, bool *corrupt) const
+{
+    if (corrupt)
+        *corrupt = false;
+    if (!enabled())
+        return std::nullopt;
+
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+    SimResult out;
+    if (!deserializeSimResult(bytes, &out)) {
+        if (corrupt)
+            *corrupt = true;
+        return std::nullopt;
+    }
+    return out;
+}
+
+bool
+ResultCache::store(const CacheKey &key, const SimResult &result) const
+{
+    if (!enabled())
+        return false;
+
+    // Unique temp name per process and store call so concurrent
+    // writers never collide; rename within one directory is atomic.
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string path = entryPath(key);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(counter.fetch_add(1));
+
+    const std::vector<std::uint8_t> bytes = serializeSimResult(result);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            return false;
+    }
+
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace pipedepth

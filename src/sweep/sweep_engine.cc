@@ -1,0 +1,269 @@
+#include "sweep/sweep_engine.hh"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "calib/extract.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/table.hh"
+#include "sweep/cache_key.hh"
+#include "uarch/simulator.hh"
+
+namespace pipedepth
+{
+
+double
+SweepCounters::hitRate() const
+{
+    const std::uint64_t done = cache_hits + cells_computed;
+    return done ? static_cast<double>(cache_hits) /
+                      static_cast<double>(done)
+                : 0.0;
+}
+
+double
+SweepCounters::simMips() const
+{
+    return wall_seconds > 0.0
+               ? static_cast<double>(instructions_simulated) /
+                     wall_seconds / 1e6
+               : 0.0;
+}
+
+namespace
+{
+
+/** Concurrent tallies of one engine call, folded into SweepCounters. */
+struct CellTallies
+{
+    std::atomic<std::uint64_t> computed{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> traces{0};
+    std::atomic<std::uint64_t> instructions{0};
+};
+
+class WallTimer
+{
+  public:
+    explicit WallTimer(double *accumulator)
+        : accumulator_(accumulator),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~WallTimer()
+    {
+        const auto end = std::chrono::steady_clock::now();
+        *accumulator_ +=
+            std::chrono::duration<double>(end - start_).count();
+    }
+
+  private:
+    double *accumulator_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+void
+foldTallies(SweepCounters &c, const CellTallies &t, std::uint64_t total)
+{
+    c.cells_total += total;
+    c.cells_computed += t.computed.load();
+    c.cache_hits += t.hits.load();
+    c.cache_stores += t.stores.load();
+    c.cache_errors += t.errors.load();
+    c.traces_generated += t.traces.load();
+    c.instructions_simulated += t.instructions.load();
+}
+
+} // namespace
+
+SweepEngine::SweepEngine(const SweepEngineOptions &options)
+    : options_(options),
+      cache_(options.use_cache
+                 ? (options.cache_dir.empty()
+                        ? ResultCache::resolveDefaultDir()
+                        : options.cache_dir)
+                 : std::string())
+{
+}
+
+std::vector<SweepResult>
+SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
+                     const SweepOptions &options)
+{
+    PP_ASSERT(options.min_depth >= 2 && options.max_depth <= 30 &&
+                  options.min_depth < options.max_depth,
+              "bad depth range");
+    PP_ASSERT(options.reference_depth >= options.min_depth &&
+                  options.reference_depth <= options.max_depth,
+              "reference depth outside sweep range");
+
+    const WallTimer timer(&counters_.wall_seconds);
+    const std::size_t n_depths = static_cast<std::size_t>(
+        options.max_depth - options.min_depth + 1);
+
+    // One lazily generated trace per workload: cells share it, and a
+    // fully cached workload never generates it at all.
+    struct SpecTrace
+    {
+        std::once_flag once;
+        Trace trace;
+    };
+    std::vector<std::unique_ptr<SpecTrace>> traces;
+    traces.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        traces.push_back(std::make_unique<SpecTrace>());
+
+    struct Cell
+    {
+        std::size_t spec;
+        int depth;
+    };
+    std::vector<Cell> cells;
+    cells.reserve(specs.size() * n_depths);
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        for (int p = options.min_depth; p <= options.max_depth; ++p)
+            cells.push_back(Cell{s, p});
+    }
+
+    CellTallies tallies;
+    auto runCell = [&](const Cell &cell) -> SimResult {
+        const WorkloadSpec &spec = specs[cell.spec];
+        const PipelineConfig config = options.configAtDepth(cell.depth);
+
+        CacheKey key;
+        if (cache_.enabled()) {
+            key = simCellKey(spec, options.trace_length, config);
+            bool corrupt = false;
+            if (auto hit = cache_.load(key, &corrupt)) {
+                tallies.hits.fetch_add(1);
+                hit->workload = spec.name;
+                hit->config = config;
+                return std::move(*hit);
+            }
+            if (corrupt)
+                tallies.errors.fetch_add(1);
+        }
+
+        SpecTrace &st = *traces[cell.spec];
+        std::call_once(st.once, [&]() {
+            st.trace = spec.makeTrace(options.trace_length);
+            tallies.traces.fetch_add(1);
+        });
+
+        SimResult result = simulate(st.trace, config);
+        tallies.computed.fetch_add(1);
+        tallies.instructions.fetch_add(result.instructions);
+        if (cache_.enabled() && cache_.store(key, result))
+            tallies.stores.fetch_add(1);
+        return result;
+    };
+
+    std::vector<SimResult> flat =
+        parallelMap(cells, runCell, options_.threads, options_.chunk);
+    foldTallies(counters_, tallies, cells.size());
+
+    std::vector<SweepResult> out;
+    out.reserve(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        SweepResult sweep{specs[s], options, {},
+                          ActivityPowerModel(UnitPowerFactors::defaults(),
+                                             options.p_d, 0.0),
+                          MachineParams{}};
+        const auto begin =
+            flat.begin() + static_cast<std::ptrdiff_t>(s * n_depths);
+        sweep.runs.assign(std::make_move_iterator(begin),
+                          std::make_move_iterator(
+                              begin + static_cast<std::ptrdiff_t>(n_depths)));
+
+        const SimResult &reference = sweep.runs[static_cast<std::size_t>(
+            options.reference_depth - options.min_depth)];
+        sweep.power_model = sweep.power_model.withLeakageFraction(
+            reference, options.leakage_fraction);
+        sweep.extracted = extractMachineParams(reference);
+        out.push_back(std::move(sweep));
+    }
+    return out;
+}
+
+SweepResult
+SweepEngine::runSweep(const WorkloadSpec &spec, const SweepOptions &options)
+{
+    return std::move(
+        runGrid(std::vector<WorkloadSpec>{spec}, options).front());
+}
+
+std::vector<SimResult>
+SweepEngine::runConfigs(const Trace &trace,
+                        const std::vector<PipelineConfig> &configs)
+{
+    const WallTimer timer(&counters_.wall_seconds);
+
+    CellTallies tallies;
+    auto runCell = [&](const PipelineConfig &config) -> SimResult {
+        CacheKey key;
+        if (cache_.enabled()) {
+            key = traceCellKey(trace, config);
+            bool corrupt = false;
+            if (auto hit = cache_.load(key, &corrupt)) {
+                tallies.hits.fetch_add(1);
+                hit->workload = trace.name;
+                hit->config = config;
+                return std::move(*hit);
+            }
+            if (corrupt)
+                tallies.errors.fetch_add(1);
+        }
+        SimResult result = simulate(trace, config);
+        tallies.computed.fetch_add(1);
+        tallies.instructions.fetch_add(result.instructions);
+        if (cache_.enabled() && cache_.store(key, result))
+            tallies.stores.fetch_add(1);
+        return result;
+    };
+
+    std::vector<SimResult> out =
+        parallelMap(configs, runCell, options_.threads, options_.chunk);
+    foldTallies(counters_, tallies, configs.size());
+    return out;
+}
+
+void
+SweepEngine::printSummary(std::ostream &os) const
+{
+    const SweepCounters c = counters_;
+    TableWriter t(TableWriter::Style::Aligned);
+    t.addColumn("cells", 0);
+    t.addColumn("computed", 0);
+    t.addColumn("cache_hit", 0);
+    t.addColumn("hit_pct", 1);
+    t.addColumn("stored", 0);
+    t.addColumn("corrupt", 0);
+    t.addColumn("traces", 0);
+    t.addColumn("Minstr", 1);
+    t.addColumn("wall_s", 2);
+    t.addColumn("sim_MIPS", 1);
+    t.beginRow();
+    t.cell(static_cast<unsigned long>(c.cells_total));
+    t.cell(static_cast<unsigned long>(c.cells_computed));
+    t.cell(static_cast<unsigned long>(c.cache_hits));
+    t.cell(100.0 * c.hitRate());
+    t.cell(static_cast<unsigned long>(c.cache_stores));
+    t.cell(static_cast<unsigned long>(c.cache_errors));
+    t.cell(static_cast<unsigned long>(c.traces_generated));
+    t.cell(static_cast<double>(c.instructions_simulated) / 1e6);
+    t.cell(c.wall_seconds);
+    t.cell(c.simMips());
+    os << "sweep engine ["
+       << (cacheEnabled() ? "cache " + cache_.dir() : "cache off")
+       << "]\n";
+    t.render(os);
+}
+
+} // namespace pipedepth

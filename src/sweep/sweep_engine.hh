@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SweepEngine: the scheduled, cached substrate under every sweep.
+ *
+ * All benches, tools and examples that run workload x depth grids of
+ * cycle-accurate simulation route through this engine. It
+ *
+ *  - flattens the full grid into (workload, depth) cells and spreads
+ *    *cells* — not workloads — over a chunked work-stealing
+ *    parallelMap, so a 55 x 24 grid keeps every core busy to the end
+ *    instead of serializing on the slowest workload;
+ *  - memoizes every SimResult in a content-addressed on-disk cache
+ *    (result_cache.hh) keyed by workload spec, trace length, pipeline
+ *    configuration and simulator version (cache_key.hh), so re-runs
+ *    of figures and ablations cost milliseconds;
+ *  - generates each workload trace at most once per grid, and not at
+ *    all when every cell of the workload is cached;
+ *  - counts what happened (cells computed vs cache hits, instructions
+ *    simulated, wall time) for observability and for tests.
+ *
+ * Determinism: a cell's result is byte-identical whether computed on
+ * 1 thread, N threads, or replayed from cache
+ * (tests/sweep/test_engine_determinism.cc pins this).
+ */
+
+#ifndef PIPEDEPTH_SWEEP_SWEEP_ENGINE_HH
+#define PIPEDEPTH_SWEEP_SWEEP_ENGINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sweep/depth_sweep.hh"
+#include "sweep/result_cache.hh"
+
+namespace pipedepth
+{
+
+/** Engine construction knobs. */
+struct SweepEngineOptions
+{
+    unsigned threads = 0; //!< sweep workers; 0 = hardware concurrency
+    std::size_t chunk = 2; //!< cells per work-stealing grab
+
+    /**
+     * Master cache switch. When true the directory is @p cache_dir,
+     * or ResultCache::resolveDefaultDir() if that is empty; an empty
+     * resolved directory (e.g. PIPEDEPTH_CACHE_DIR="") disables
+     * caching too.
+     */
+    bool use_cache = true;
+    std::string cache_dir;
+};
+
+/** What a sweep (or a lifetime of sweeps) did. */
+struct SweepCounters
+{
+    std::uint64_t cells_total = 0;    //!< cells requested
+    std::uint64_t cells_computed = 0; //!< simulated this run
+    std::uint64_t cache_hits = 0;     //!< served from disk
+    std::uint64_t cache_stores = 0;   //!< entries written
+    std::uint64_t cache_errors = 0;   //!< corrupt entries recomputed
+    std::uint64_t traces_generated = 0;
+    std::uint64_t instructions_simulated = 0;
+    double wall_seconds = 0.0;
+
+    /** Fraction of cells served from cache (0 when no cells ran). */
+    double hitRate() const;
+
+    /** Simulated millions of instructions per wall second. */
+    double simMips() const;
+};
+
+/**
+ * Schedules grids of simulations over worker threads with result
+ * memoization. Engines are cheap to construct; counters accumulate
+ * over the engine's lifetime.
+ *
+ * Thread-compatibility: one engine may be driven from one thread at a
+ * time (it parallelizes internally).
+ */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(const SweepEngineOptions &options = {});
+
+    /**
+     * Run the full workloads x depths grid and assemble one
+     * SweepResult per workload (same order as @p specs). This is the
+     * parallel, cached equivalent of calling runDepthSweep per spec.
+     */
+    std::vector<SweepResult> runGrid(const std::vector<WorkloadSpec> &specs,
+                                     const SweepOptions &options);
+
+    /** One-workload grid. */
+    SweepResult runSweep(const WorkloadSpec &spec,
+                         const SweepOptions &options);
+
+    /**
+     * Simulate an explicit trace (e.g. a tape file) under each
+     * configuration; results keep order. Cache keys hash the full
+     * trace contents (traceCellKey).
+     */
+    std::vector<SimResult>
+    runConfigs(const Trace &trace,
+               const std::vector<PipelineConfig> &configs);
+
+    bool cacheEnabled() const { return cache_.enabled(); }
+    const std::string &cacheDir() const { return cache_.dir(); }
+
+    /** Snapshot of the lifetime counters. */
+    SweepCounters counters() const { return counters_; }
+
+    void resetCounters() { counters_ = SweepCounters{}; }
+
+    /**
+     * Render the counters as a small summary table. Benches print
+     * this to stderr so --csv stdout stays clean.
+     */
+    void printSummary(std::ostream &os) const;
+
+  private:
+    SweepEngineOptions options_;
+    ResultCache cache_;
+    SweepCounters counters_;
+};
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_SWEEP_SWEEP_ENGINE_HH

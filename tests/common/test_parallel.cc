@@ -1,12 +1,18 @@
 /**
  * @file
- * Tests for parallelMap.
+ * Tests for parallelMap, including the failure semantics the sweep
+ * engine depends on: all workers join on error, the first (lowest
+ * item index) error is rethrown, and a failure short-circuits the
+ * remaining items — both across chunks and within a chunk.
  */
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "common/parallel.hh"
 
@@ -14,6 +20,21 @@ namespace pipedepth
 {
 namespace
 {
+
+/** An error that remembers which item raised it. */
+class IndexedError : public std::runtime_error
+{
+  public:
+    explicit IndexedError(int index)
+        : std::runtime_error("item " + std::to_string(index)),
+          index_(index)
+    {
+    }
+    int index() const { return index_; }
+
+  private:
+    int index_;
+};
 
 TEST(ParallelMap, PreservesOrder)
 {
@@ -24,6 +45,27 @@ TEST(ParallelMap, PreservesOrder)
     ASSERT_EQ(out.size(), items.size());
     for (std::size_t i = 0; i < out.size(); ++i)
         EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ParallelMap, ChunkedPreservesOrder)
+{
+    std::vector<int> items(1000);
+    std::iota(items.begin(), items.end(), 0);
+    for (std::size_t chunk : {1u, 3u, 7u, 64u, 5000u}) {
+        const auto out =
+            parallelMap(items, [](int v) { return v + 7; }, 4, chunk);
+        ASSERT_EQ(out.size(), items.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], static_cast<int>(i) + 7);
+    }
+}
+
+TEST(ParallelMap, ChunkZeroTreatedAsOne)
+{
+    std::vector<int> items{1, 2, 3};
+    const auto out =
+        parallelMap(items, [](int v) { return v * 2; }, 2, 0);
+    EXPECT_EQ(out, (std::vector<int>{2, 4, 6}));
 }
 
 TEST(ParallelMap, EmptyInput)
@@ -53,6 +95,105 @@ TEST(ParallelMap, PropagatesExceptions)
                         return v;
                     }),
         std::runtime_error);
+}
+
+TEST(ParallelMap, SequentialFailureShortCircuitsAndRethrowsFirst)
+{
+    std::vector<int> items(100);
+    std::iota(items.begin(), items.end(), 0);
+    std::atomic<int> executed{0};
+    try {
+        parallelMap(
+            items,
+            [&executed](int v) {
+                if (v == 3 || v == 40)
+                    throw IndexedError(v);
+                executed.fetch_add(1);
+                return v;
+            },
+            1);
+        FAIL() << "expected IndexedError";
+    } catch (const IndexedError &e) {
+        // The first failing item's error, not the later one.
+        EXPECT_EQ(e.index(), 3);
+    }
+    // Items 0..2 ran; everything after the failure was skipped.
+    EXPECT_EQ(executed.load(), 3);
+}
+
+TEST(ParallelMap, ConcurrentFailuresRethrowLowestIndexAndShortCircuit)
+{
+    // Items 0 and 1 are claimed by the two workers, rendezvous so
+    // both are genuinely in flight, then both throw. parallelMap must
+    // join both workers, rethrow item 0's error (the first), and run
+    // none of the remaining 98 items.
+    std::vector<int> items(100);
+    std::iota(items.begin(), items.end(), 0);
+    std::atomic<int> arrived{0};
+    std::atomic<int> executed{0};
+    try {
+        parallelMap(
+            items,
+            [&](int v) {
+                if (v <= 1) {
+                    arrived.fetch_add(1);
+                    while (arrived.load() < 2)
+                        std::this_thread::yield();
+                    throw IndexedError(v);
+                }
+                executed.fetch_add(1);
+                return v;
+            },
+            2, 1);
+        FAIL() << "expected IndexedError";
+    } catch (const IndexedError &e) {
+        EXPECT_EQ(e.index(), 0);
+    }
+    EXPECT_EQ(arrived.load(), 2);
+    EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ParallelMap, FailureSkipsRestOfChunk)
+{
+    // Worker claims items 0..7 as one chunk; item 0 throws, so items
+    // 1..7 of that same chunk must not run.
+    std::vector<int> items(16);
+    std::iota(items.begin(), items.end(), 0);
+    std::array<std::atomic<bool>, 16> ran{};
+    try {
+        parallelMap(
+            items,
+            [&ran](int v) {
+                if (v == 0)
+                    throw IndexedError(v);
+                ran[static_cast<std::size_t>(v)].store(true);
+                return v;
+            },
+            2, 8);
+        FAIL() << "expected IndexedError";
+    } catch (const IndexedError &e) {
+        EXPECT_EQ(e.index(), 0);
+    }
+    for (int v = 1; v < 8; ++v)
+        EXPECT_FALSE(ran[static_cast<std::size_t>(v)].load())
+            << "item " << v << " of the failed chunk ran";
+}
+
+TEST(ParallelMap, LateFailureStillDeliversError)
+{
+    // A failure on the very last item must be reported even though
+    // every other item already completed.
+    std::vector<int> items(50);
+    std::iota(items.begin(), items.end(), 0);
+    EXPECT_THROW(parallelMap(
+                     items,
+                     [](int v) {
+                         if (v == 49)
+                             throw IndexedError(v);
+                         return v;
+                     },
+                     4, 4),
+                 IndexedError);
 }
 
 TEST(ParallelMap, MoreThreadsThanItems)

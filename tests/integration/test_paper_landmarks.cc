@@ -9,12 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 
-#include "calib/depth_sweep.hh"
-#include "common/parallel.hh"
 #include "core/optimum_solver.hh"
+#include "core/performance_model.hh"
 #include "core/power_model.hh"
+#include "sweep/sweep_engine.hh"
 
 namespace pipedepth
 {
@@ -51,9 +52,12 @@ sample()
 const std::vector<SweepResult> &
 sweeps()
 {
-    static const std::vector<SweepResult> all = parallelMap(
-        sample(),
-        [](const WorkloadSpec &w) { return runDepthSweep(w, fastOptions()); });
+    // One engine call schedules the whole 10 x 24 grid in parallel and
+    // serves it from the on-disk result cache on re-runs.
+    static const std::vector<SweepResult> all = [] {
+        SweepEngine engine;
+        return engine.runGrid(sample(), fastOptions());
+    }();
     return all;
 }
 
@@ -185,6 +189,65 @@ TEST(PaperLandmarks, TheoryPredictsSimulatedOptimumLocation)
         // visibly for the most stressful (legacy/FP) workloads.
         EXPECT_GT(th.p_opt / sim, 0.35) << s.spec.name;
         EXPECT_LT(th.p_opt / sim, 2.5) << s.spec.name;
+    }
+}
+
+TEST(PaperLandmarks, Eq2OptimumSatisfiesClosedForm)
+{
+    // Paper Eq. 2: p_opt^2 = N_I t_p / (alpha gamma N_H t_o), with
+    // N_H/N_I folded into hazard_ratio. For every sampled workload the
+    // implemented optimum must satisfy the closed form to rounding
+    // error and be a true stationary minimum of T(p).
+    for (const auto &s : sweeps()) {
+        const MachineParams &mp = s.extracted;
+        const PerformanceModel model(mp);
+        const double p_opt = model.performanceOnlyOptimum();
+        ASSERT_TRUE(std::isfinite(p_opt)) << s.spec.name;
+        ASSERT_GT(p_opt, 0.0) << s.spec.name;
+
+        const double lhs = p_opt * p_opt * mp.alpha * mp.gamma *
+                           mp.hazard_ratio * mp.t_o;
+        EXPECT_NEAR(lhs / mp.t_p, 1.0, 1e-9) << s.spec.name;
+
+        // dT/dp vanishes at p_opt (tolerance relative to the
+        // derivative's natural scale, the hazard slope).
+        const double scale = mp.gamma * mp.hazard_ratio * mp.t_o;
+        ASSERT_GT(scale, 0.0) << s.spec.name;
+        EXPECT_LT(std::abs(model.timeDerivative(p_opt)), 1e-9 * scale)
+            << s.spec.name;
+
+        // And it is a minimum of time per instruction, not merely a
+        // stationary point.
+        EXPECT_GT(model.timePerInstruction(0.9 * p_opt),
+                  model.timePerInstruction(p_opt))
+            << s.spec.name;
+        EXPECT_GT(model.timePerInstruction(1.1 * p_opt),
+                  model.timePerInstruction(p_opt))
+            << s.spec.name;
+    }
+}
+
+TEST(PaperLandmarks, BipsSquaredShallowLandmarkPinned)
+{
+    // Tightened m = 2 landmark: for the integer-dominated classes the
+    // paper's Fig. 5 shows BIPS^2/W already past its optimum across
+    // the sampled range — the shallowest design must beat every deep
+    // (>= 12 stage) design by an explicit margin, not merely within
+    // noise. (FP/legacy workloads are exempt as in
+    // NoPipelinedOptimumForMOneAndTwo above.)
+    for (const auto &s : sweeps()) {
+        if (s.spec.cls == WorkloadClass::SpecFp ||
+            s.spec.cls == WorkloadClass::Legacy) {
+            continue;
+        }
+        const auto vals = s.metric(2.0, true);
+        const auto depths = s.depths();
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+            if (depths[i] >= 12.0) {
+                EXPECT_GT(vals.front(), 1.10 * vals[i])
+                    << s.spec.name << " p=" << depths[i];
+            }
+        }
     }
 }
 

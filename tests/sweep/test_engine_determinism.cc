@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Determinism regression tests: the same workload spec and options
+ * must produce byte-identical SimResults whether the grid runs on one
+ * thread, on many threads, or is replayed from the on-disk cache.
+ * This is what makes cached sweeps trustworthy — a cache hit is
+ * provably the same answer, not a similar one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sweep/cache_key.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/sweep_engine.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+SweepOptions
+fastOptions()
+{
+    SweepOptions opt;
+    opt.min_depth = 2;
+    opt.max_depth = 10;
+    opt.reference_depth = 8;
+    opt.trace_length = 30000;
+    opt.warmup_instructions = 10000;
+    return opt;
+}
+
+std::vector<WorkloadSpec>
+sampleSpecs()
+{
+    // One integer and one FP workload: different unit activity.
+    return {findWorkload("gcc95"), findWorkload("swim")};
+}
+
+/** The canonical byte form of every run of a grid result. */
+std::vector<std::vector<std::uint8_t>>
+measurementBytes(const std::vector<SweepResult> &sweeps)
+{
+    std::vector<std::vector<std::uint8_t>> out;
+    for (const auto &s : sweeps)
+        for (const auto &r : s.runs)
+            out.push_back(serializeSimResult(r));
+    return out;
+}
+
+/** Engine with caching off and a fixed worker count. */
+SweepEngine
+uncachedEngine(unsigned threads)
+{
+    SweepEngineOptions opt;
+    opt.threads = threads;
+    opt.use_cache = false;
+    return SweepEngine(opt);
+}
+
+TEST(EngineDeterminism, OneThreadVsManyThreadsByteIdentical)
+{
+    SweepEngine serial = uncachedEngine(1);
+    SweepEngine parallel = uncachedEngine(8);
+
+    const auto a = serial.runGrid(sampleSpecs(), fastOptions());
+    const auto b = parallel.runGrid(sampleSpecs(), fastOptions());
+
+    EXPECT_EQ(serial.counters().cells_computed,
+              parallel.counters().cells_computed);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(measurementBytes(a), measurementBytes(b));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].spec.name, b[i].spec.name);
+        for (std::size_t j = 0; j < a[i].runs.size(); ++j) {
+            EXPECT_EQ(a[i].runs[j].workload, b[i].runs[j].workload);
+            // Configurations must be equal too (compared by content
+            // hash, which covers every field).
+            StableHasher ha, hb;
+            hashPipelineConfig(ha, a[i].runs[j].config);
+            hashPipelineConfig(hb, b[i].runs[j].config);
+            EXPECT_EQ(ha.key(), hb.key());
+        }
+    }
+    // Identical measurements imply identical derived analysis.
+    EXPECT_EQ(a[0].metric(3.0, true), b[0].metric(3.0, true));
+    EXPECT_EQ(a[0].extracted.alpha, b[0].extracted.alpha);
+    EXPECT_EQ(a[0].extracted.gamma, b[0].extracted.gamma);
+}
+
+TEST(EngineDeterminism, CacheReplayByteIdentical)
+{
+    const auto dir = std::filesystem::path(::testing::TempDir()) /
+                     "pipedepth-determinism-replay";
+    std::filesystem::remove_all(dir);
+
+    SweepEngineOptions opt;
+    opt.cache_dir = dir.string();
+
+    SweepEngine cold(opt);
+    const auto computed = cold.runGrid(sampleSpecs(), fastOptions());
+    const SweepCounters cc = cold.counters();
+    EXPECT_EQ(cc.cache_hits, 0u);
+    EXPECT_EQ(cc.cells_computed, cc.cells_total);
+    EXPECT_EQ(cc.cache_stores, cc.cells_total);
+
+    SweepEngine warm(opt);
+    const auto replayed = warm.runGrid(sampleSpecs(), fastOptions());
+    const SweepCounters wc = warm.counters();
+    EXPECT_EQ(wc.cache_hits, wc.cells_total);
+    EXPECT_EQ(wc.cells_computed, 0u);
+    EXPECT_EQ(wc.traces_generated, 0u);
+    EXPECT_DOUBLE_EQ(wc.hitRate(), 1.0);
+
+    EXPECT_EQ(measurementBytes(computed), measurementBytes(replayed));
+    for (std::size_t i = 0; i < computed.size(); ++i) {
+        EXPECT_EQ(computed[i].spec.name, replayed[i].spec.name);
+        for (std::size_t j = 0; j < computed[i].runs.size(); ++j)
+            EXPECT_EQ(computed[i].runs[j].workload,
+                      replayed[i].runs[j].workload);
+        // Derived analysis from replayed runs matches exactly.
+        EXPECT_EQ(computed[i].metric(3.0, true),
+                  replayed[i].metric(3.0, true));
+        EXPECT_EQ(computed[i].latchCounts(), replayed[i].latchCounts());
+    }
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(EngineDeterminism, RunDepthSweepMatchesEngineGrid)
+{
+    // The compatibility wrapper and an explicit engine agree cell for
+    // cell (runDepthSweep may additionally hit a shared cache, which
+    // by the replay test above cannot change bytes).
+    const SweepOptions opt = fastOptions();
+    const WorkloadSpec spec = findWorkload("gcc95");
+
+    SweepEngine engine = uncachedEngine(4);
+    const SweepResult direct = engine.runSweep(spec, opt);
+    const SweepResult wrapped = runDepthSweep(spec, opt);
+
+    ASSERT_EQ(direct.runs.size(), wrapped.runs.size());
+    for (std::size_t j = 0; j < direct.runs.size(); ++j)
+        EXPECT_EQ(serializeSimResult(direct.runs[j]),
+                  serializeSimResult(wrapped.runs[j]));
+}
+
+TEST(EngineDeterminism, CacheKeysAreReproducible)
+{
+    // Keys are pure functions of content — recomputing them across
+    // engines, threads and processes finds the same entries. (A key
+    // mismatch would show up as a silent 0% hit rate, so pin the
+    // property explicitly.)
+    const WorkloadSpec spec = findWorkload("gcc95");
+    const SweepOptions opt = fastOptions();
+    const PipelineConfig config = opt.configAtDepth(5);
+
+    const CacheKey a = simCellKey(spec, opt.trace_length, config);
+    const CacheKey b =
+        simCellKey(findWorkload("gcc95"), opt.trace_length,
+                   fastOptions().configAtDepth(5));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hex(), b.hex());
+}
+
+} // namespace
+} // namespace pipedepth

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for SimResult serialization and the on-disk result cache:
+ * exact round trips, atomic store/load, and — critically — silent
+ * tolerance of truncated, bit-flipped, mislabeled or oversized
+ * entries (a bad cache entry must read as a miss, never crash or
+ * return garbage).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sweep/cache_key.hh"
+#include "sweep/result_cache.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+/** A SimResult with a distinctive value in every field. */
+SimResult
+sampleResult()
+{
+    SimResult r;
+    r.workload = "unit-test";
+    r.depth = 17;
+    r.cycle_time_fo4 = 2.5 + 140.0 / 17.0;
+    r.instructions = 123456;
+    r.cycles = 234567;
+    r.branches = 34567;
+    r.mispredicts = 4567;
+    r.icache_accesses = 111111;
+    r.icache_misses = 2222;
+    r.dcache_accesses = 55555;
+    r.dcache_misses = 3333;
+    r.l2_accesses = 4444;
+    r.l2_misses = 555;
+    r.mispredict_events = 4321;
+    r.load_interlock_events = 6543;
+    r.fp_interlock_events = 321;
+    r.int_interlock_events = 7654;
+    r.dcache_miss_events = 2468;
+    r.mispredict_stall_cycles = 13579;
+    r.icache_stall_cycles = 8642;
+    r.dcache_stall_cycles = 9753;
+    r.load_interlock_stall_cycles = 1357;
+    r.fp_interlock_stall_cycles = 246;
+    r.int_interlock_stall_cycles = 8888;
+    r.unit_busy_stall_cycles = 999;
+    r.other_stall_cycles = 1234;
+    for (std::size_t u = 0; u < kNumUnits; ++u) {
+        r.units[u].depth = static_cast<int>(u + 1);
+        r.units[u].active_cycles = 1000 * u + 1;
+        r.units[u].occupancy = 2000 * u + 2;
+        r.units[u].ops = 3000 * u + 3;
+    }
+    r.config = PipelineConfig::forDepth(17);
+    return r;
+}
+
+/** Field-by-field equality of the serialized (measured) state. */
+void
+expectMeasurementsEqual(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(serializeSimResult(a), serializeSimResult(b));
+    EXPECT_EQ(a.depth, b.depth);
+    EXPECT_DOUBLE_EQ(a.cycle_time_fo4, b.cycle_time_fo4);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.unit_busy_stall_cycles, b.unit_busy_stall_cycles);
+    for (std::size_t u = 0; u < kNumUnits; ++u) {
+        EXPECT_EQ(a.units[u].active_cycles, b.units[u].active_cycles);
+        EXPECT_EQ(a.units[u].ops, b.units[u].ops);
+    }
+}
+
+/** Fresh private cache directory per test. */
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::path(::testing::TempDir()) /
+               ("pipedepth-cache-" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        std::filesystem::remove_all(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::filesystem::path dir_;
+};
+
+TEST(SimResultSerialization, RoundTripsExactly)
+{
+    const SimResult original = sampleResult();
+    const auto bytes = serializeSimResult(original);
+    SimResult restored;
+    ASSERT_TRUE(deserializeSimResult(bytes, &restored));
+    expectMeasurementsEqual(original, restored);
+}
+
+TEST(SimResultSerialization, RejectsTruncation)
+{
+    const auto bytes = serializeSimResult(sampleResult());
+    SimResult out;
+    for (std::size_t keep :
+         {std::size_t{0}, std::size_t{3}, std::size_t{23},
+          bytes.size() / 2, bytes.size() - 1}) {
+        std::vector<std::uint8_t> cut(bytes.begin(),
+                                      bytes.begin() +
+                                          static_cast<std::ptrdiff_t>(keep));
+        EXPECT_FALSE(deserializeSimResult(cut, &out)) << keep << " bytes";
+    }
+}
+
+TEST(SimResultSerialization, RejectsTrailingGarbage)
+{
+    auto bytes = serializeSimResult(sampleResult());
+    bytes.push_back(0);
+    SimResult out;
+    EXPECT_FALSE(deserializeSimResult(bytes, &out));
+}
+
+TEST(SimResultSerialization, RejectsAnySingleBitFlip)
+{
+    const auto pristine = serializeSimResult(sampleResult());
+    SimResult out;
+    // Every byte of the entry is protected: header fields break the
+    // framing, payload bytes break the checksum.
+    for (std::size_t i = 0; i < pristine.size(); ++i) {
+        auto bytes = pristine;
+        bytes[i] ^= 0x10;
+        EXPECT_FALSE(deserializeSimResult(bytes, &out)) << "byte " << i;
+    }
+}
+
+TEST_F(ResultCacheTest, StoreThenLoadRoundTrips)
+{
+    const ResultCache cache(dir_.string());
+    ASSERT_TRUE(cache.enabled());
+    const SimResult original = sampleResult();
+    const CacheKey key =
+        traceCellKey(Trace{"t", 1, {}}, original.config);
+
+    EXPECT_TRUE(cache.store(key, original));
+    bool corrupt = true;
+    const auto loaded = cache.load(key, &corrupt);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_FALSE(corrupt);
+    expectMeasurementsEqual(original, *loaded);
+}
+
+TEST_F(ResultCacheTest, MissingEntryIsCleanMiss)
+{
+    const ResultCache cache(dir_.string());
+    bool corrupt = true;
+    EXPECT_FALSE(cache.load(CacheKey{1, 2}, &corrupt).has_value());
+    EXPECT_FALSE(corrupt);
+}
+
+TEST_F(ResultCacheTest, TruncatedEntryReadsAsCorruptMiss)
+{
+    const ResultCache cache(dir_.string());
+    const SimResult original = sampleResult();
+    const CacheKey key{0xdead, 0xbeef};
+    ASSERT_TRUE(cache.store(key, original));
+
+    std::filesystem::resize_file(cache.entryPath(key), 40);
+    bool corrupt = false;
+    EXPECT_FALSE(cache.load(key, &corrupt).has_value());
+    EXPECT_TRUE(corrupt);
+}
+
+TEST_F(ResultCacheTest, BitFlippedEntryReadsAsCorruptMiss)
+{
+    const ResultCache cache(dir_.string());
+    const SimResult original = sampleResult();
+    const CacheKey key{0xfeed, 0xface};
+    ASSERT_TRUE(cache.store(key, original));
+
+    // Flip one payload bit on disk.
+    const std::string path = cache.entryPath(key);
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(100);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(100);
+    f.write(&byte, 1);
+    f.close();
+
+    bool corrupt = false;
+    EXPECT_FALSE(cache.load(key, &corrupt).has_value());
+    EXPECT_TRUE(corrupt);
+
+    // Storing again repairs the entry.
+    EXPECT_TRUE(cache.store(key, original));
+    EXPECT_TRUE(cache.load(key, &corrupt).has_value());
+    EXPECT_FALSE(corrupt);
+}
+
+TEST_F(ResultCacheTest, StoreLeavesNoTempFiles)
+{
+    const ResultCache cache(dir_.string());
+    ASSERT_TRUE(cache.store(CacheKey{1, 1}, sampleResult()));
+    ASSERT_TRUE(cache.store(CacheKey{2, 2}, sampleResult()));
+    std::size_t files = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir_)) {
+        ++files;
+        EXPECT_EQ(entry.path().extension(), ".simres") << entry.path();
+    }
+    EXPECT_EQ(files, 2u);
+}
+
+TEST(ResultCacheDisabled, DisabledCacheMissesAndDropsStores)
+{
+    const ResultCache cache;
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_FALSE(cache.store(CacheKey{1, 1}, sampleResult()));
+    bool corrupt = true;
+    EXPECT_FALSE(cache.load(CacheKey{1, 1}, &corrupt).has_value());
+    EXPECT_FALSE(corrupt);
+}
+
+TEST(CacheKeyHex, StableAndDistinct)
+{
+    const CacheKey a{0x0123456789abcdefull, 0xfedcba9876543210ull};
+    EXPECT_EQ(a.hex(), "0123456789abcdeffedcba9876543210");
+    EXPECT_EQ(CacheKey{}.hex(), std::string(32, '0'));
+
+    // Distinct configs / specs / traces produce distinct keys.
+    const WorkloadSpec &spec = workloadCatalog().front();
+    const auto base = simCellKey(spec, 1000, PipelineConfig::forDepth(8));
+    EXPECT_NE(base, simCellKey(spec, 1001, PipelineConfig::forDepth(8)));
+    EXPECT_NE(base, simCellKey(spec, 1000, PipelineConfig::forDepth(9)));
+    WorkloadSpec other = spec;
+    other.gen.seed ^= 1;
+    EXPECT_NE(base, simCellKey(other, 1000, PipelineConfig::forDepth(8)));
+
+    PipelineConfig warm = PipelineConfig::forDepth(8);
+    warm.warmup_instructions = 777;
+    EXPECT_NE(base, simCellKey(spec, 1000, warm));
+}
+
+} // namespace
+} // namespace pipedepth

@@ -5,24 +5,43 @@
  * parameters (alpha, gamma, N_H/N_I), branch/cache behaviour, and the
  * cubic-fit optima for the performance-only and BIPS^3/W objectives.
  * Used when retuning the workload catalog.
+ *
+ * The whole 55 x 24 grid runs as one SweepEngine call: parallel
+ * across cells and served from the on-disk result cache on re-runs
+ * (pass --no-cache to force recomputation).
  */
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 #include <map>
 #include <vector>
 
-#include "calib/depth_sweep.hh"
+#include "sweep/sweep_engine.hh"
 #include "workloads/catalog.hh"
 
 using namespace pipedepth;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepEngineOptions engine_options;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-cache") == 0) {
+            engine_options.use_cache = false;
+        } else {
+            std::fprintf(stderr, "usage: %s [--no-cache]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    SweepEngine engine(engine_options);
+    const std::vector<SweepResult> sweeps =
+        engine.runGrid(workloadCatalog(), SweepOptions{});
+
     struct Acc { int n=0; double a=0,g=0,h=0,perf=0,m3=0,mpki=0,dmr=0; };
     std::map<std::string, Acc> byclass;
-    for (const auto &w : workloadCatalog()) {
-        SweepOptions opt;
-        SweepResult s = runDepthSweep(w, opt);
+    for (const auto &s : sweeps) {
+        const WorkloadSpec &w = s.spec;
         bool i1=false, i2=false;
         const double perf = s.cubicFitPerformanceOptimum(&i1);
         const double m3 = s.cubicFitOptimum(3.0, true, &i2);
@@ -49,5 +68,6 @@ main()
                     k.c_str(), a.n, a.perf/a.n, a.m3/a.n, a.a/a.n, a.g/a.n,
                     a.h/a.n, a.mpki/a.n, a.dmr/a.n);
     }
+    engine.printSummary(std::cerr);
     return 0;
 }

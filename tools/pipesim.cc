@@ -6,12 +6,17 @@
  * Usage:
  *   pipesim (--tape FILE | --workload NAME) [--depth P | --sweep]
  *           [--ooo] [--predictor bimodal|gshare|taken]
- *           [--warmup N] [--csv]
+ *           [--warmup N] [--csv] [--no-cache] [--threads N]
  *
  * With --depth, prints the detailed statistics of a single run. With
  * --sweep, simulates depths 2..25 and prints per-depth CPI, BIPS and
  * the BIPS^3/W metric (15% leakage calibration), plus the cubic-fit
  * optimum — the paper's per-workload experiment in one command.
+ *
+ * Runs go through the SweepEngine: sweep depths simulate in parallel
+ * and every result is memoized in the on-disk cache, keyed by the
+ * full trace contents (so tape files cache correctly too). --no-cache
+ * bypasses the cache; the engine summary prints to stderr.
  */
 
 #include <cstdio>
@@ -25,6 +30,7 @@
 #include "common/table.hh"
 #include "math/least_squares.hh"
 #include "power/activity_power.hh"
+#include "sweep/sweep_engine.hh"
 #include "trace/trace_io.hh"
 #include "uarch/simulator.hh"
 #include "workloads/catalog.hh"
@@ -41,7 +47,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s (--tape FILE | --workload NAME) [--depth P | --sweep]\n"
         "          [--ooo] [--predictor bimodal|gshare|taken]\n"
-        "          [--length N] [--warmup N] [--csv]\n",
+        "          [--length N] [--warmup N] [--csv] [--no-cache]\n"
+        "          [--threads N]\n",
         argv0);
     std::exit(2);
 }
@@ -109,6 +116,8 @@ main(int argc, char **argv)
     bool sweep = false;
     bool ooo = false;
     bool csv = false;
+    bool no_cache = false;
+    unsigned threads = 0;
     std::size_t length = 200000;
     std::size_t warmup = 60000;
     PredictorKind predictor = PredictorKind::Bimodal;
@@ -133,6 +142,11 @@ main(int argc, char **argv)
                 std::strtoull(argv[++i], nullptr, 10));
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--no-cache") {
+            no_cache = true;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--predictor" && i + 1 < argc) {
             const std::string kind = argv[++i];
             if (kind == "bimodal")
@@ -162,19 +176,28 @@ main(int argc, char **argv)
         return cfg;
     };
 
+    SweepEngineOptions engine_options;
+    engine_options.threads = threads;
+    engine_options.use_cache = !no_cache;
+    SweepEngine engine(engine_options);
+
     if (!sweep) {
-        printRun(simulate(trace, configure(depth)));
+        printRun(engine.runConfigs(trace, {configure(depth)}).front());
+        engine.printSummary(std::cerr);
         return 0;
     }
 
     const int min_depth = ooo ? 3 : 2;
-    std::vector<SimResult> runs;
-    runs.reserve(24);
+    std::vector<PipelineConfig> configs;
+    configs.reserve(24);
+    for (int p = min_depth; p <= 25; ++p)
+        configs.push_back(configure(p));
+    const std::vector<SimResult> runs = engine.runConfigs(trace, configs);
+
     const SimResult *ref = nullptr;
-    for (int p = min_depth; p <= 25; ++p) {
-        runs.push_back(simulate(trace, configure(p)));
-        if (p == 8)
-            ref = &runs.back();
+    for (const auto &r : runs) {
+        if (r.depth == 8)
+            ref = &r;
     }
     PP_ASSERT(ref, "reference depth missing from sweep");
     ActivityPowerModel power;
@@ -211,5 +234,6 @@ main(int argc, char **argv)
         std::printf("\nBIPS^3/W cubic-fit optimum: %.1f stages%s\n",
                     peak.x, peak.interior ? "" : " (endpoint)");
     }
+    engine.printSummary(std::cerr);
     return 0;
 }
