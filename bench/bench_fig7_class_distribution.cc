@@ -9,6 +9,7 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <iostream>
 #include <map>
@@ -78,6 +79,39 @@ main(int argc, char **argv)
         s.cell(cycleTimeFo4(mean, 140.0, 2.5));
     }
     s.render(std::cout);
+
+    // Why the classes separate: the stall-ledger composition at the
+    // reference depth. Legacy/int classes spend their cycles in
+    // depth-scaled hazard buckets (shallow optima); FP spends them in
+    // serialization (unit_busy / superscalar loss), which deepens the
+    // optimum. Shares of total cycles; the ledger conserves, so each
+    // row plus its base-work/drain columns sums to 1.
+    banner(opt, "stall ledger composition at reference depth");
+    TableWriter l(opt.style());
+    l.addColumn("class");
+    for (std::size_t b = 0; b < kNumStallBuckets; ++b)
+        l.addColumn(stallBucketName(static_cast<StallBucket>(b)), 3);
+    std::map<std::string, std::array<double, kNumStallBuckets>> shares;
+    std::map<std::string, int> counts;
+    for (const auto &s2 : sweeps) {
+        const std::size_t ref = static_cast<std::size_t>(
+            s2.options.reference_depth - s2.options.min_depth);
+        const SimResult &r = s2.runs.at(ref);
+        auto &acc = shares[workloadClassName(s2.spec.cls)];
+        ++counts[workloadClassName(s2.spec.cls)];
+        for (std::size_t b = 0; b < kNumStallBuckets; ++b) {
+            acc[b] += static_cast<double>(
+                          r.ledgerCycles(static_cast<StallBucket>(b))) /
+                      static_cast<double>(r.cycles);
+        }
+    }
+    for (const auto &[cls, acc] : shares) {
+        l.beginRow();
+        l.cell(cls);
+        for (std::size_t b = 0; b < kNumStallBuckets; ++b)
+            l.cell(acc[b] / counts.at(cls));
+    }
+    l.render(std::cout);
 
     if (!opt.csv) {
         std::printf("\npaper: legacy ~9 (18 FO4), SPECint ~7 "

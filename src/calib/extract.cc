@@ -22,15 +22,34 @@ extractMachineParams(const SimResult &sim)
     mp.hazard_ratio = n_h / n_i;
 
     const double stall = static_cast<double>(sim.hazardStallCycles());
-    // alpha measures the effective superscalar degree. Depth-scaled
-    // hazard stalls and constant-time memory waits are excluded from
-    // the busy time; FP/divider serialization (fp interlocks,
-    // unit-busy waits) and refill bubbles stay in it — they are what
-    // *lowers* alpha, per the paper's account of FP workloads.
-    const double non_busy =
-        stall + static_cast<double>(sim.constantTimeStallCycles());
-    const double busy =
-        std::max(1.0, static_cast<double>(sim.cycles) - non_busy);
+    // alpha measures the effective superscalar degree. Busy time is
+    // assembled from the ledger buckets directly: ideal work,
+    // utilization loss, pipeline fill, plus FP/divider serialization
+    // (fp interlocks, unit-busy waits) and refill bubbles — the
+    // latter are what *lowers* alpha, per the paper's account of FP
+    // workloads. Depth-scaled hazard stalls and constant-time memory
+    // waits are the excluded remainder; conservation makes the two
+    // views identical.
+    const double busy = std::max(
+        1.0,
+        static_cast<double>(
+            sim.ledgerCycles(StallBucket::BaseWork) +
+            sim.ledgerCycles(StallBucket::SuperscalarLoss) +
+            sim.ledgerCycles(StallBucket::Drain) +
+            sim.ledgerCycles(StallBucket::DepFp) +
+            sim.ledgerCycles(StallBucket::UnitBusy) +
+            sim.ledgerCycles(StallBucket::Other)));
+    if (sim.ledgerTotal() > 0) {
+        PP_ASSERT(sim.ledger_residual == 0,
+                  "extraction from a non-conserving run ('",
+                  sim.workload, "', residual ", sim.ledger_residual,
+                  ")");
+        PP_ASSERT(busy + stall +
+                          static_cast<double>(
+                              sim.constantTimeStallCycles()) ==
+                      static_cast<double>(sim.cycles),
+                  "ledger buckets do not partition the run");
+    }
     mp.alpha = std::clamp(n_i / busy, 1.0,
                           static_cast<double>(sim.config.width));
 

@@ -9,15 +9,23 @@
  * require more extensive analysis of the details of the pipeline and
  * the particular distribution of instructions and hazards."
  *
- * Mapping used here:
- *  - N_H / N_I: hazard events (mispredicts, interlocks, i-cache
- *    misses) per instruction;
- *  - gamma: mean hazard stall in cycles divided by the pipeline depth
- *    of the reference run (the fraction of the pipe a hazard drains);
- *  - alpha: instructions per non-stalled cycle, N_I /
- *    (cycles - hazard stall cycles) — the effective degree of
- *    superscalar processing while work flows;
+ * Mapping used here (all inputs are stall-ledger buckets; see
+ * docs/STALL_ACCOUNTING.md for the exact cycle decomposition):
+ *  - N_H / N_I: depth-scaled hazard events (mispredicts, load and
+ *    integer interlocks) per instruction;
+ *  - gamma: mean *exposed* hazard stall in cycles divided by the
+ *    pipeline depth of the reference run (the fraction of the pipe a
+ *    hazard drains after overlap with neighbouring stalls);
+ *  - alpha: instructions per busy cycle, where busy time is the sum
+ *    of the non-hazard, non-constant-time ledger buckets (base work,
+ *    superscalar loss, drain, FP-interlock, unit-busy and refill
+ *    bubbles) — the effective degree of superscalar processing while
+ *    work flows;
  *  - t_p, t_o: technology constants of the configuration.
+ *
+ * Because the ledger conserves cycles exactly, busy time can be
+ * computed equivalently as cycles minus hazard and constant-time
+ * stalls; the extractor asserts the two agree (residual of zero).
  */
 
 #ifndef PIPEDEPTH_CALIB_EXTRACT_HH

@@ -38,7 +38,7 @@ namespace pipedepth
  * not captured by an explicit parameter; stale entries then simply
  * stop being found and age out.
  */
-inline constexpr const char *kSimulatorVersionTag = "pipedepth-sim-1";
+inline constexpr const char *kSimulatorVersionTag = "pipedepth-sim-2";
 
 /** A 128-bit content hash (two independent 64-bit FNV-1a streams). */
 struct CacheKey

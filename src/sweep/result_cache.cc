@@ -20,7 +20,7 @@ namespace
 // Entry framing: magic, format version, payload size, FNV-1a checksum
 // of the payload, then the payload itself.
 constexpr char kMagic[4] = {'P', 'D', 'S', 'R'};
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;
 constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 8;
 
 std::uint64_t
@@ -145,6 +145,10 @@ payloadOf(const SimResult &r)
     putU64(out, r.int_interlock_stall_cycles);
     putU64(out, r.unit_busy_stall_cycles);
     putU64(out, r.other_stall_cycles);
+    putU64(out, r.base_work_cycles);
+    putU64(out, r.superscalar_loss_cycles);
+    putU64(out, r.drain_cycles);
+    putU64(out, static_cast<std::uint64_t>(r.ledger_residual));
     for (const auto &u : r.units) {
         putU64(out, static_cast<std::uint64_t>(u.depth));
         putU64(out, u.active_cycles);
@@ -214,6 +218,10 @@ deserializeSimResult(const std::vector<std::uint8_t> &bytes, SimResult *out)
     res.int_interlock_stall_cycles = r.u64();
     res.unit_busy_stall_cycles = r.u64();
     res.other_stall_cycles = r.u64();
+    res.base_work_cycles = r.u64();
+    res.superscalar_loss_cycles = r.u64();
+    res.drain_cycles = r.u64();
+    res.ledger_residual = static_cast<std::int64_t>(r.u64());
     for (auto &u : res.units) {
         u.depth = static_cast<int>(r.u64());
         u.active_cycles = r.u64();

@@ -123,6 +123,15 @@ struct PipelineConfig
      */
     bool model_memory_dependences = false;
 
+    /**
+     * Hard-fail (panic) if the stall ledger's cycle-conservation
+     * invariant does not hold at end of simulation, instead of merely
+     * exporting the residual in SimResult::ledger_residual. Enabled
+     * by tests and by `pipesim --audit`. Not part of the sweep cache
+     * key: auditing cannot change a (successful) run's results.
+     */
+    bool audit_ledger = false;
+
     /// @name Technology
     /// @{
     double t_p = 140.0; //!< total logic depth, FO4

@@ -46,4 +46,45 @@ SimResult::constantTimeStallCycles() const
     return icache_stall_cycles + dcache_stall_cycles;
 }
 
+std::uint64_t
+SimResult::ledgerCycles(StallBucket bucket) const
+{
+    switch (bucket) {
+      case StallBucket::BaseWork:
+        return base_work_cycles;
+      case StallBucket::SuperscalarLoss:
+        return superscalar_loss_cycles;
+      case StallBucket::Mispredict:
+        return mispredict_stall_cycles;
+      case StallBucket::ICache:
+        return icache_stall_cycles;
+      case StallBucket::DCacheMiss:
+        return dcache_stall_cycles;
+      case StallBucket::DepLoad:
+        return load_interlock_stall_cycles;
+      case StallBucket::DepFp:
+        return fp_interlock_stall_cycles;
+      case StallBucket::DepInt:
+        return int_interlock_stall_cycles;
+      case StallBucket::UnitBusy:
+        return unit_busy_stall_cycles;
+      case StallBucket::Drain:
+        return drain_cycles;
+      case StallBucket::Other:
+        return other_stall_cycles;
+      case StallBucket::NumBuckets:
+        break;
+    }
+    PP_PANIC("invalid stall bucket ", static_cast<int>(bucket));
+}
+
+std::uint64_t
+SimResult::ledgerTotal() const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t b = 0; b < kNumStallBuckets; ++b)
+        sum += ledgerCycles(static_cast<StallBucket>(b));
+    return sum;
+}
+
 } // namespace pipedepth

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "ledger/stall_ledger.hh"
 #include "uarch/pipeline_config.hh"
 
 namespace pipedepth
@@ -57,10 +58,12 @@ struct SimResult
 
     /// @name Stall cycles attributed to each hazard class
     ///
-    /// Measured as issue bubbles: cycles in which the in-order issue
-    /// point was idle, attributed to the constraint that bound the
-    /// next instruction to issue. Bubbles are disjoint by
-    /// construction, so these sums never exceed `cycles`.
+    /// Ledger buckets (see ledger/stall_ledger.hh): idle retire-slot
+    /// cycles attributed to the constraint that delayed the next
+    /// instruction to retire. Together with the base-work,
+    /// superscalar-loss and drain buckets below they decompose the
+    /// run exactly: the sum of all buckets equals `cycles` (checked;
+    /// any discrepancy is exported in `ledger_residual`).
     /// @{
     std::uint64_t mispredict_stall_cycles = 0;
     std::uint64_t icache_stall_cycles = 0;
@@ -75,8 +78,27 @@ struct SimResult
      * (the paper's account of FP workloads).
      */
     std::uint64_t unit_busy_stall_cycles = 0;
-    /** Issue bubbles not attributable to a hazard (refill, startup). */
+    /** Retire bubbles not attributable to a hazard (queue refill). */
     std::uint64_t other_stall_cycles = 0;
+    /// @}
+
+    /// @name Non-stall ledger buckets
+    ///
+    /// The remainder of the exact cycle decomposition: ideal work,
+    /// utilization loss and pipeline fill. See docs/STALL_ACCOUNTING.md.
+    /// @{
+    /** Ideal full-width retire cycles, ceil(instructions / width). */
+    std::uint64_t base_work_cycles = 0;
+    /** Extra cycles retiring below full width (utilization loss). */
+    std::uint64_t superscalar_loss_cycles = 0;
+    /** Initial pipeline fill before the first retirement. */
+    std::uint64_t drain_cycles = 0;
+    /**
+     * cycles - (sum of all ledger buckets). Zero for every conserving
+     * run; the simulator hard-fails on a nonzero residual when
+     * PipelineConfig::audit_ledger is set.
+     */
+    std::int64_t ledger_residual = 0;
     /// @}
 
     std::array<UnitStats, kNumUnits> units{};
@@ -111,6 +133,12 @@ struct SimResult
      * model; reported separately.
      */
     std::uint64_t constantTimeStallCycles() const;
+
+    /** Cycles of one ledger bucket (exact cycle decomposition). */
+    std::uint64_t ledgerCycles(StallBucket bucket) const;
+
+    /** Sum over all ledger buckets (== cycles when conserving). */
+    std::uint64_t ledgerTotal() const;
 };
 
 } // namespace pipedepth

@@ -8,6 +8,7 @@
 #include "branch/predictor.hh"
 #include "cache/cache.hh"
 #include "common/logging.hh"
+#include "ledger/stall_ledger.hh"
 
 namespace pipedepth
 {
@@ -288,73 +289,34 @@ simulate(const Trace &trace, const PipelineConfig &config)
     Cycle last_retire = 0;
 
     /**
-     * Why an instruction is late. Stall cycles are measured as issue
-     * bubbles at the (in-order) issue point and attributed to the
-     * cause that bound the next instruction to issue, so the per-cause
-     * totals are disjoint and sum to at most the cycle count.
+     * Why an instruction is late on its way to retirement. The stall
+     * ledger charges the idle retire-slot cycles in front of each
+     * instruction to this classification, which makes the per-cause
+     * totals disjoint and — together with the ledger's base-work,
+     * superscalar-loss and drain buckets — sum exactly to the cycle
+     * count (the conservation invariant; see ledger/stall_ledger.hh).
      */
-    enum class Cause : std::uint8_t
-    {
-        None,
-        Mispredict,
-        ICache,
-        DCacheMiss,
-        DepLoad,
-        DepFp,
-        DepInt,
-        UnitBusy,
-    };
+    using Cause = StallBucket;
 
     // Classify a wait on a register by its producer; a load that
     // missed the D-cache is a constant-time memory stall, not a
-    // depth-scaled interlock.
+    // depth-scaled interlock. A wait on a never-written register is
+    // no interlock at all — it must not invent an integer hazard.
     auto dep_cause = [](ProducerKind kind, bool missed) {
         switch (kind) {
           case ProducerKind::Load:
             return missed ? Cause::DCacheMiss : Cause::DepLoad;
           case ProducerKind::Fp:
             return Cause::DepFp;
-          default:
+          case ProducerKind::Int:
             return Cause::DepInt;
+          case ProducerKind::None:
+            break;
         }
+        return Cause::Other;
     };
 
-    // Charge an issue bubble to a cause.
-    auto charge = [&res](Cause cause, Cycle bubble) {
-        if (bubble <= 0)
-            return;
-        const auto b = static_cast<std::uint64_t>(bubble);
-        switch (cause) {
-          case Cause::Mispredict:
-            res.mispredict_stall_cycles += b;
-            break;
-          case Cause::ICache:
-            res.icache_stall_cycles += b;
-            break;
-          case Cause::DCacheMiss:
-            ++res.dcache_miss_events;
-            res.dcache_stall_cycles += b;
-            break;
-          case Cause::DepLoad:
-            ++res.load_interlock_events;
-            res.load_interlock_stall_cycles += b;
-            break;
-          case Cause::DepFp:
-            ++res.fp_interlock_events;
-            res.fp_interlock_stall_cycles += b;
-            break;
-          case Cause::DepInt:
-            ++res.int_interlock_events;
-            res.int_interlock_stall_cycles += b;
-            break;
-          case Cause::UnitBusy:
-            res.unit_busy_stall_cycles += b;
-            break;
-          case Cause::None:
-            res.other_stall_cycles += b;
-            break;
-        }
-    };
+    StallLedger ledger(config.width);
 
     // Warm the predictor and cache hierarchy (see
     // PipelineConfig::warmup_instructions).
@@ -372,9 +334,9 @@ simulate(const Trace &trace, const PipelineConfig &config)
 
     for (const TraceRecord &r : trace.records) {
         const OpTraits &t = opTraits(r.op);
-        // The strongest reason this instruction is late on its way to
-        // issue (used when the issue bubble is bound by arrival).
-        Cause path_cause = Cause::None;
+        // The last binding constraint this instruction met on its way
+        // to issue (used when its retire bubble is bound by arrival).
+        Cause path_cause = Cause::Other;
 
         // ---- Fetch ----------------------------------------------------
         Cycle f_base = fetch_seq;
@@ -448,41 +410,48 @@ simulate(const Trace &trace, const PipelineConfig &config)
                                        reg_missed[r.src1]);
             }
 
+            // A load hitting a recent store's dword takes the
+            // forwarding path instead of the memory path, so the
+            // forwarding decision comes first: a forwarded access
+            // must not perturb cache/L2 state or count as a miss.
             ++res.dcache_accesses;
-            const bool hit = dcache.access(r.mem_addr);
-            dcache_missed = !hit;
-            if (dcache_missed)
-                ++res.dcache_misses;
-            cache_done = cache_start + dC +
-                         (hit ? 0 : miss_penalty_for(r.mem_addr));
-
-            if (config.model_memory_dependences) {
-                if (t.is_store) {
-                    // Data becomes forwardable once the store reaches
-                    // the cache stage with its operand in hand.
-                    store_table.recordStore(r.mem_addr, cache_start);
-                } else if (t.is_load) {
-                    // A load hitting a recent store's dword takes the
-                    // forwarding path instead of the memory path: one
-                    // cycle after the store data is ready, but never
-                    // earlier than the load's own pipe stage.
-                    const Cycle st = store_table.lastStore(r.mem_addr);
-                    if (st >= 0) {
-                        const Cycle fwd =
-                            std::max(cache_start + dC, st + 1);
-                        if (fwd != cache_done) {
-                            cache_done = fwd;
-                            path_cause = Cause::DepLoad;
-                        }
-                        dcache_missed = false; // forwarded, not memory
-                    }
+            bool forwarded = false;
+            if (config.model_memory_dependences && t.is_load) {
+                const Cycle st = store_table.lastStore(r.mem_addr);
+                if (st >= 0) {
+                    forwarded = true;
+                    // One cycle after the store data is ready, but
+                    // never earlier than the load's own pipe stage.
+                    const Cycle pipe_done = cache_start + dC;
+                    cache_done = std::max(pipe_done, st + 1);
+                    // Only a *binding* wait for the store's data is a
+                    // load interlock; forwarding that shortens the
+                    // path is not a hazard.
+                    if (cache_done > pipe_done)
+                        path_cause = Cause::DepLoad;
                 }
             }
-            if (dcache_missed) {
-                // A missing load reaches issue late; charge the
-                // resulting bubble to the memory (constant-time)
-                // stall class.
-                path_cause = Cause::DCacheMiss;
+            if (!forwarded) {
+                const bool hit = dcache.access(r.mem_addr);
+                dcache_missed = !hit;
+                cache_done = cache_start + dC;
+                if (dcache_missed) {
+                    // The miss *event* is counted here at the miss
+                    // site, keeping dcache_miss_events in lockstep
+                    // with dcache_misses instead of drifting with how
+                    // many bubbles the miss later causes.
+                    ++res.dcache_misses;
+                    ++res.dcache_miss_events;
+                    cache_done += miss_penalty_for(r.mem_addr);
+                    // The op reaches issue late by a constant-time
+                    // memory stall.
+                    path_cause = Cause::DCacheMiss;
+                }
+            }
+            if (config.model_memory_dependences && t.is_store) {
+                // Data becomes forwardable once the store reaches
+                // the cache stage with its operand in hand.
+                store_table.recordStore(r.mem_addr, cache_start);
             }
             if (dC > 0) {
                 act(Unit::DCache).add(cache_start, cache_start + dC);
@@ -494,6 +463,10 @@ simulate(const Trace &trace, const PipelineConfig &config)
 
         // ---- Execute ---------------------------------------------------
         Cycle ecomp;
+        // What this instruction's retire bubble will be charged to.
+        // Memory ops that complete at the cache carry their arrival
+        // path's constraint; exec-path ops refine it at issue below.
+        Cause stall_cause = path_cause;
         if (t.is_store || r.op == OpClass::Load) {
             // Stores and pure loads complete at the cache; they do
             // not pass the execution pipe (only RX *ALU* ops do).
@@ -530,37 +503,18 @@ simulate(const Trace &trace, const PipelineConfig &config)
 
             Cycle eissue;
             if (config.in_order) {
-                const Cycle prev_issue = exec_seq;
                 const Cycle cand =
                     std::max({ready, busy, exec_arrival, exec_seq});
                 eissue = exec_slots.grant(cand);
                 exec_seq = eissue;
-
-                // Issue bubble: idle cycles at the in-order issue
-                // point before this instruction went. Attribute to
-                // the binding constraint; ties prefer the non-hazard
-                // explanation.
-                const Cycle bubble = eissue - prev_issue - 1;
-                if (bubble > 0) {
-                    Cause cause = Cause::None;
-                    if (exec_arrival >= std::max(ready, busy)) {
-                        cause = path_cause;
-                    } else if (ready >= busy) {
-                        cause = dep_cause(binding, binding_missed);
-                    } else {
-                        cause = Cause::UnitBusy;
-                    }
-                    charge(cause, bubble);
-                }
             } else {
                 // Out-of-order: issue as soon as operands and a port
                 // are available; program order does not gate issue.
                 // The window is still bounded by max_inflight (the
-                // ROB) and completion remains in order. Stall-cause
-                // attribution is an in-order concept, so the
-                // depth-scaled stall counters stay untouched here;
-                // extraction from out-of-order runs instead reflects
-                // the higher effective alpha directly.
+                // ROB) and completion remains in order, which is what
+                // lets the ledger attribute retire bubbles the same
+                // way as in-order mode (out-of-order mostly shows up
+                // as fewer and shorter bubbles, i.e. higher alpha).
                 const Cycle cand =
                     std::max({ready, busy, exec_arrival});
                 eissue = ooo_ports.grant(cand);
@@ -572,6 +526,16 @@ simulate(const Trace &trace, const PipelineConfig &config)
                                         config.max_inflight));
                 }
                 exec_seq = std::max(exec_seq, eissue);
+            }
+
+            // Attribute to the binding issue constraint; ties prefer
+            // the non-hazard explanation.
+            if (exec_arrival >= std::max(ready, busy)) {
+                stall_cause = path_cause;
+            } else if (ready >= busy) {
+                stall_cause = dep_cause(binding, binding_missed);
+            } else {
+                stall_cause = Cause::UnitBusy;
             }
             exec_queue.push(eissue);
             const Cycle entry = t.is_mem ? cache_done : dispatch;
@@ -641,6 +605,7 @@ simulate(const Trace &trace, const PipelineConfig &config)
             retire_slots.grant(std::max(comp + 1, retire_seq));
         retire_seq = ret;
         act(Unit::Retire).add(ret, ret + 1);
+        ledger.commit(ret, stall_cause);
 
         fetch_buffer.push(d);
         inflight.push(ret);
@@ -649,6 +614,31 @@ simulate(const Trace &trace, const PipelineConfig &config)
     }
 
     res.cycles = static_cast<std::uint64_t>(last_retire + 1);
+
+    ledger.finalize(res.cycles);
+    res.base_work_cycles = ledger.cycles(StallBucket::BaseWork);
+    res.superscalar_loss_cycles =
+        ledger.cycles(StallBucket::SuperscalarLoss);
+    res.mispredict_stall_cycles = ledger.cycles(StallBucket::Mispredict);
+    res.icache_stall_cycles = ledger.cycles(StallBucket::ICache);
+    res.dcache_stall_cycles = ledger.cycles(StallBucket::DCacheMiss);
+    res.load_interlock_stall_cycles = ledger.cycles(StallBucket::DepLoad);
+    res.fp_interlock_stall_cycles = ledger.cycles(StallBucket::DepFp);
+    res.int_interlock_stall_cycles = ledger.cycles(StallBucket::DepInt);
+    res.unit_busy_stall_cycles = ledger.cycles(StallBucket::UnitBusy);
+    res.drain_cycles = ledger.cycles(StallBucket::Drain);
+    res.other_stall_cycles = ledger.cycles(StallBucket::Other);
+    res.load_interlock_events = ledger.events(StallBucket::DepLoad);
+    res.fp_interlock_events = ledger.events(StallBucket::DepFp);
+    res.int_interlock_events = ledger.events(StallBucket::DepInt);
+    res.ledger_residual = ledger.residual();
+    if (config.audit_ledger) {
+        PP_ASSERT(res.ledger_residual == 0,
+                  "stall ledger conservation violated for '", trace.name,
+                  "' at depth ", config.depth, ": residual ",
+                  res.ledger_residual);
+    }
+
     for (std::size_t u = 0; u < kNumUnits; ++u) {
         res.units[u].depth = config.unit_depth[u];
         res.units[u].active_cycles = activity[u].active;

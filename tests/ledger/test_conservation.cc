@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The conservation property, end to end: for every catalog workload,
+ * at shallow/reference/deep/extreme depths, in-order and out-of-order,
+ * directly and through the SweepEngine on 1 and N threads, the stall
+ * ledger's buckets must sum exactly to the run's cycle count (zero
+ * residual). Runs under `ctest -L ledger`.
+ *
+ * Every simulation here sets PipelineConfig::audit_ledger, so a
+ * conservation violation also dies inside the simulator — the test
+ * assertions double-check the exported counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sweep/sweep_engine.hh"
+#include "uarch/simulator.hh"
+#include "workloads/catalog.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+constexpr std::size_t kTraceLength = 8000;
+constexpr std::size_t kWarmup = 1000;
+
+PipelineConfig
+auditedConfig(int depth, bool in_order)
+{
+    PipelineConfig cfg = PipelineConfig::forDepth(depth, in_order);
+    cfg.warmup_instructions = kWarmup;
+    cfg.audit_ledger = true;
+    return cfg;
+}
+
+void
+expectConserving(const SimResult &res, const std::string &name,
+                 int depth)
+{
+    EXPECT_EQ(res.ledger_residual, 0) << name << " p=" << depth;
+    EXPECT_EQ(res.ledgerTotal(), res.cycles) << name << " p=" << depth;
+    EXPECT_GT(res.base_work_cycles, 0u) << name << " p=" << depth;
+}
+
+TEST(LedgerConservation, EveryCatalogWorkloadInOrder)
+{
+    for (const WorkloadSpec &spec : workloadCatalog()) {
+        const Trace trace = spec.makeTrace(kTraceLength);
+        for (const int depth : {2, 7, 14, 25}) {
+            const SimResult res =
+                simulate(trace, auditedConfig(depth, true));
+            expectConserving(res, spec.name, depth);
+        }
+    }
+}
+
+TEST(LedgerConservation, EveryCatalogWorkloadOutOfOrder)
+{
+    for (const WorkloadSpec &spec : workloadCatalog()) {
+        const Trace trace = spec.makeTrace(kTraceLength);
+        for (const int depth : {3, 7, 14, 25}) {
+            const SimResult res =
+                simulate(trace, auditedConfig(depth, false));
+            expectConserving(res, spec.name, depth);
+        }
+    }
+}
+
+TEST(LedgerConservation, SweepEngineThreadCountsAgreeAndConserve)
+{
+    // The engine must deliver the same conserving ledger whether the
+    // grid runs on one thread or many (cache off: every cell is
+    // freshly simulated).
+    const WorkloadSpec spec = findWorkload("gcc95");
+    const Trace trace = spec.makeTrace(kTraceLength);
+    std::vector<PipelineConfig> configs;
+    for (const int depth : {2, 7, 14, 25})
+        configs.push_back(auditedConfig(depth, true));
+    for (const int depth : {3, 7, 14, 25})
+        configs.push_back(auditedConfig(depth, false));
+
+    SweepEngineOptions serial_opt;
+    serial_opt.threads = 1;
+    serial_opt.use_cache = false;
+    SweepEngineOptions parallel_opt;
+    parallel_opt.threads = 8;
+    parallel_opt.use_cache = false;
+
+    SweepEngine serial(serial_opt);
+    SweepEngine parallel(parallel_opt);
+    const std::vector<SimResult> a = serial.runConfigs(trace, configs);
+    const std::vector<SimResult> b = parallel.runConfigs(trace, configs);
+
+    ASSERT_EQ(a.size(), configs.size());
+    ASSERT_EQ(b.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        expectConserving(a[i], spec.name, configs[i].depth);
+        expectConserving(b[i], spec.name, configs[i].depth);
+        EXPECT_EQ(a[i].ledgerTotal(), b[i].ledgerTotal());
+        for (std::size_t k = 0; k < kNumStallBuckets; ++k) {
+            const auto bucket = static_cast<StallBucket>(k);
+            EXPECT_EQ(a[i].ledgerCycles(bucket),
+                      b[i].ledgerCycles(bucket))
+                << stallBucketName(bucket) << " p="
+                << configs[i].depth;
+        }
+    }
+}
+
+TEST(LedgerConservation, MemoryDependenceModelingConserves)
+{
+    // The store-to-load forwarding path (off in the catalog runs
+    // above) must feed the ledger too.
+    const WorkloadSpec spec = findWorkload("gzip00");
+    const Trace trace = spec.makeTrace(kTraceLength);
+    for (const int depth : {2, 7, 14, 25}) {
+        PipelineConfig cfg = auditedConfig(depth, true);
+        cfg.model_memory_dependences = true;
+        const SimResult res = simulate(trace, cfg);
+        expectConserving(res, spec.name, depth);
+    }
+}
+
+} // namespace
+} // namespace pipedepth

@@ -52,6 +52,10 @@ sampleResult()
     r.int_interlock_stall_cycles = 8888;
     r.unit_busy_stall_cycles = 999;
     r.other_stall_cycles = 1234;
+    r.base_work_cycles = 30864;
+    r.superscalar_loss_cycles = 171717;
+    r.drain_cycles = 21;
+    r.ledger_residual = -7;
     for (std::size_t u = 0; u < kNumUnits; ++u) {
         r.units[u].depth = static_cast<int>(u + 1);
         r.units[u].active_cycles = 1000 * u + 1;
@@ -73,6 +77,10 @@ expectMeasurementsEqual(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.mispredicts, b.mispredicts);
     EXPECT_EQ(a.unit_busy_stall_cycles, b.unit_busy_stall_cycles);
+    EXPECT_EQ(a.base_work_cycles, b.base_work_cycles);
+    EXPECT_EQ(a.superscalar_loss_cycles, b.superscalar_loss_cycles);
+    EXPECT_EQ(a.drain_cycles, b.drain_cycles);
+    EXPECT_EQ(a.ledger_residual, b.ledger_residual);
     for (std::size_t u = 0; u < kNumUnits; ++u) {
         EXPECT_EQ(a.units[u].active_cycles, b.units[u].active_cycles);
         EXPECT_EQ(a.units[u].ops, b.units[u].ops);

@@ -9,7 +9,13 @@
  * The whole 55 x 24 grid runs as one SweepEngine call: parallel
  * across cells and served from the on-disk result cache on re-runs
  * (pass --no-cache to force recomputation).
+ *
+ * --stalls appends the per-class stall-ledger composition at the
+ * reference depth: the share of cycles each ledger bucket accounts
+ * for, averaged over the workloads of the class. Because the ledger
+ * conserves cycles exactly, each row sums to 1.
  */
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -25,11 +31,15 @@ int
 main(int argc, char **argv)
 {
     SweepEngineOptions engine_options;
+    bool stalls = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--no-cache") == 0) {
             engine_options.use_cache = false;
+        } else if (std::strcmp(argv[i], "--stalls") == 0) {
+            stalls = true;
         } else {
-            std::fprintf(stderr, "usage: %s [--no-cache]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [--no-cache] [--stalls]\n",
+                         argv[0]);
             return 2;
         }
     }
@@ -67,6 +77,37 @@ main(int argc, char **argv)
                     "mpki=%4.1f dmr=%.3f\n",
                     k.c_str(), a.n, a.perf/a.n, a.m3/a.n, a.a/a.n, a.g/a.n,
                     a.h/a.n, a.mpki/a.n, a.dmr/a.n);
+    }
+    if (stalls) {
+        // Stall-ledger composition at the reference depth, class
+        // averages of each bucket's share of cycles.
+        std::map<std::string, std::array<double, kNumStallBuckets>>
+            shares;
+        std::map<std::string, int> counts;
+        for (const auto &s : sweeps) {
+            const SimResult &r = s.runs[6];
+            auto &acc = shares[workloadClassName(s.spec.cls)];
+            counts[workloadClassName(s.spec.cls)]++;
+            for (std::size_t b = 0; b < kNumStallBuckets; ++b) {
+                acc[b] += static_cast<double>(r.ledgerCycles(
+                              static_cast<StallBucket>(b))) /
+                          static_cast<double>(r.cycles);
+            }
+        }
+        std::printf("\nstall ledger composition at reference depth "
+                    "(share of cycles, class average):\n%-12s",
+                    "class");
+        for (std::size_t b = 0; b < kNumStallBuckets; ++b)
+            std::printf(" %9s",
+                        stallBucketName(static_cast<StallBucket>(b))
+                            .c_str());
+        std::printf("\n");
+        for (auto &[k, acc] : shares) {
+            std::printf("%-12s", k.c_str());
+            for (std::size_t b = 0; b < kNumStallBuckets; ++b)
+                std::printf(" %9.4f", acc[b] / counts[k]);
+            std::printf("\n");
+        }
     }
     engine.printSummary(std::cerr);
     return 0;

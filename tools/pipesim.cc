@@ -7,11 +7,20 @@
  *   pipesim (--tape FILE | --workload NAME) [--depth P | --sweep]
  *           [--ooo] [--predictor bimodal|gshare|taken]
  *           [--warmup N] [--csv] [--no-cache] [--threads N]
+ *           [--stalls] [--stalls-json] [--audit]
  *
  * With --depth, prints the detailed statistics of a single run. With
  * --sweep, simulates depths 2..25 and prints per-depth CPI, BIPS and
  * the BIPS^3/W metric (15% leakage calibration), plus the cubic-fit
  * optimum — the paper's per-workload experiment in one command.
+ *
+ * --stalls prints the stall ledger's exact cycle decomposition (per
+ * bucket: cycles, share of the run, events) — for a single run as a
+ * table, with --sweep as one composition row per depth. --stalls-json
+ * emits the single-run breakdown as JSON for scripting. --audit makes
+ * the simulator hard-fail if the ledger's conservation invariant
+ * (sum of buckets == cycles) is violated; without it a violation is
+ * exported as the `residual` counter.
  *
  * Runs go through the SweepEngine: sweep depths simulate in parallel
  * and every result is memoized in the on-disk cache, keyed by the
@@ -48,9 +57,104 @@ usage(const char *argv0)
         "usage: %s (--tape FILE | --workload NAME) [--depth P | --sweep]\n"
         "          [--ooo] [--predictor bimodal|gshare|taken]\n"
         "          [--length N] [--warmup N] [--csv] [--no-cache]\n"
-        "          [--threads N]\n",
+        "          [--threads N] [--stalls] [--stalls-json] [--audit]\n",
         argv0);
     std::exit(2);
+}
+
+/** Per-instruction event count of the buckets that have one. */
+std::uint64_t
+bucketEvents(const SimResult &r, StallBucket b)
+{
+    switch (b) {
+      case StallBucket::Mispredict:
+        return r.mispredict_events;
+      case StallBucket::DCacheMiss:
+        return r.dcache_miss_events;
+      case StallBucket::DepLoad:
+        return r.load_interlock_events;
+      case StallBucket::DepFp:
+        return r.fp_interlock_events;
+      case StallBucket::DepInt:
+        return r.int_interlock_events;
+      default:
+        return 0;
+    }
+}
+
+void
+printStallTable(const SimResult &r, bool csv)
+{
+    TableWriter t(csv ? TableWriter::Style::Csv
+                      : TableWriter::Style::Aligned);
+    t.addColumn("bucket", 0);
+    t.addColumn("cycles", 0);
+    t.addColumn("share", 4);
+    t.addColumn("per_instr", 4);
+    t.addColumn("events", 0);
+    const double cy = static_cast<double>(r.cycles);
+    const double n = static_cast<double>(r.instructions);
+    for (std::size_t b = 0; b < kNumStallBuckets; ++b) {
+        const auto bucket = static_cast<StallBucket>(b);
+        const std::uint64_t c = r.ledgerCycles(bucket);
+        t.beginRow();
+        t.cell(stallBucketName(bucket));
+        t.cell(c);
+        t.cell(static_cast<double>(c) / cy);
+        t.cell(static_cast<double>(c) / n);
+        t.cell(bucketEvents(r, bucket));
+    }
+    t.render(std::cout);
+    std::printf("total %llu of %llu cycles, residual %lld\n",
+                static_cast<unsigned long long>(r.ledgerTotal()),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<long long>(r.ledger_residual));
+}
+
+void
+printStallJson(const SimResult &r)
+{
+    std::printf("{\n  \"workload\": \"%s\",\n  \"depth\": %d,\n"
+                "  \"cycles\": %llu,\n  \"instructions\": %llu,\n"
+                "  \"residual\": %lld,\n  \"buckets\": {\n",
+                r.workload.c_str(), r.depth,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions),
+                static_cast<long long>(r.ledger_residual));
+    for (std::size_t b = 0; b < kNumStallBuckets; ++b) {
+        const auto bucket = static_cast<StallBucket>(b);
+        std::printf("    \"%s\": {\"cycles\": %llu, \"events\": %llu}%s\n",
+                    stallBucketName(bucket).c_str(),
+                    static_cast<unsigned long long>(
+                        r.ledgerCycles(bucket)),
+                    static_cast<unsigned long long>(
+                        bucketEvents(r, bucket)),
+                    b + 1 < kNumStallBuckets ? "," : "");
+    }
+    std::printf("  }\n}\n");
+}
+
+void
+printStallSweep(const std::vector<SimResult> &runs, bool csv)
+{
+    TableWriter t(csv ? TableWriter::Style::Csv
+                      : TableWriter::Style::Aligned);
+    t.addColumn("depth", 0);
+    for (std::size_t b = 0; b < kNumStallBuckets; ++b)
+        t.addColumn(stallBucketName(static_cast<StallBucket>(b)), 4);
+    t.addColumn("residual", 0);
+    for (const auto &r : runs) {
+        const double cy = static_cast<double>(r.cycles);
+        t.beginRow();
+        t.cell(r.depth);
+        for (std::size_t b = 0; b < kNumStallBuckets; ++b) {
+            t.cell(static_cast<double>(r.ledgerCycles(
+                       static_cast<StallBucket>(b))) /
+                   cy);
+        }
+        t.cell(r.ledger_residual);
+    }
+    t.render(std::cout);
 }
 
 void
@@ -117,6 +221,9 @@ main(int argc, char **argv)
     bool ooo = false;
     bool csv = false;
     bool no_cache = false;
+    bool stalls = false;
+    bool stalls_json = false;
+    bool audit = false;
     unsigned threads = 0;
     std::size_t length = 200000;
     std::size_t warmup = 60000;
@@ -144,6 +251,12 @@ main(int argc, char **argv)
             csv = true;
         } else if (arg == "--no-cache") {
             no_cache = true;
+        } else if (arg == "--stalls") {
+            stalls = true;
+        } else if (arg == "--stalls-json") {
+            stalls_json = true;
+        } else if (arg == "--audit") {
+            audit = true;
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
@@ -173,6 +286,7 @@ main(int argc, char **argv)
         PipelineConfig cfg = PipelineConfig::forDepth(p, !ooo);
         cfg.predictor = predictor;
         cfg.warmup_instructions = warmup;
+        cfg.audit_ledger = audit;
         return cfg;
     };
 
@@ -182,7 +296,17 @@ main(int argc, char **argv)
     SweepEngine engine(engine_options);
 
     if (!sweep) {
-        printRun(engine.runConfigs(trace, {configure(depth)}).front());
+        const SimResult run =
+            engine.runConfigs(trace, {configure(depth)}).front();
+        if (stalls_json) {
+            printStallJson(run);
+        } else {
+            printRun(run);
+            if (stalls) {
+                std::printf("\nstall ledger breakdown:\n");
+                printStallTable(run, csv);
+            }
+        }
         engine.printSummary(std::cerr);
         return 0;
     }
@@ -233,6 +357,12 @@ main(int argc, char **argv)
     if (!csv) {
         std::printf("\nBIPS^3/W cubic-fit optimum: %.1f stages%s\n",
                     peak.x, peak.interior ? "" : " (endpoint)");
+    }
+    if (stalls || stalls_json) {
+        if (!csv)
+            std::printf("\nstall ledger composition by depth "
+                        "(share of cycles):\n");
+        printStallSweep(runs, csv);
     }
     engine.printSummary(std::cerr);
     return 0;
