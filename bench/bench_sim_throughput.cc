@@ -1,0 +1,270 @@
+/**
+ * @file
+ * bench_sim_throughput — measure simulator hot-path throughput and
+ * emit it as JSON for the perf harness.
+ *
+ * Usage:
+ *   bench_sim_throughput [--output FILE] [--workloads N] [--reps N]
+ *                        [--trace-length N] [--verbose]
+ *
+ * The bench times the replay pipeline phase by phase on a sample of
+ * catalog workloads across the golden depths {2, 7, 14, 25}:
+ *
+ *   trace_gen   synthesize the instruction trace
+ *   prepare     flatten the trace into the contiguous ReplayBuffer
+ *   annotate    precompute the depth-invariant microarchitectural
+ *               annotations (caches, predictor, store forwarding)
+ *   timing_walk the per-depth timing walk over the annotated replay
+ *
+ * and separately times a SweepEngine grid twice against a private
+ * cache directory (cold = simulate + store, warm = replay from disk).
+ * Each measurement is the median of --reps repetitions.
+ *
+ * Output (stdout and, with --output, FILE) is one JSON object; the
+ * checked-in BENCH_sim_throughput.json at the repo root is a run of
+ * this bench — see docs/PERFORMANCE.md for the methodology and how
+ * to refresh it.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sweep/sweep_engine.hh"
+#include "trace/replay_buffer.hh"
+#include "uarch/replay_annotations.hh"
+#include "uarch/simulator.hh"
+#include "workloads/catalog.hh"
+
+using namespace pipedepth;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double
+median(std::vector<double> v)
+{
+    PP_ASSERT(!v.empty(), "median of nothing");
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+struct PhaseSeconds
+{
+    double trace_gen = 0.0;
+    double prepare = 0.0;
+    double annotate = 0.0;
+    double timing_walk = 0.0;
+
+    double
+    total() const
+    {
+        return trace_gen + prepare + annotate + timing_walk;
+    }
+};
+
+/** One full pass over the sample: every phase timed separately.
+ *  Returns the instructions retired by the timing walks. */
+PhaseSeconds
+runPhases(const std::vector<WorkloadSpec> &sample,
+          const std::vector<PipelineConfig> &configs,
+          std::size_t trace_length, std::uint64_t *instructions)
+{
+    PhaseSeconds s;
+    *instructions = 0;
+    for (const WorkloadSpec &spec : sample) {
+        auto t0 = Clock::now();
+        const Trace trace = spec.makeTrace(trace_length);
+        s.trace_gen += secondsSince(t0);
+
+        t0 = Clock::now();
+        const ReplayBuffer replay = prepareReplay(trace);
+        s.prepare += secondsSince(t0);
+
+        // Annotations depend only on the trace-order microarch state,
+        // so one set serves every depth (that sharing is the hot-path
+        // win being measured).
+        t0 = Clock::now();
+        const ReplayAnnotations ann =
+            annotateReplay(replay, configs.front());
+        s.annotate += secondsSince(t0);
+
+        t0 = Clock::now();
+        for (const PipelineConfig &cfg : configs) {
+            const SimResult r = simulate(replay, ann, cfg);
+            *instructions += r.instructions;
+        }
+        s.timing_walk += secondsSince(t0);
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string output;
+    std::size_t n_workloads = 12;
+    std::size_t trace_length = 30000;
+    int reps = 3;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--output" && i + 1 < argc) {
+            output = argv[++i];
+        } else if (arg == "--workloads" && i + 1 < argc) {
+            n_workloads = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--reps" && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        } else if (arg == "--trace-length" && i + 1 < argc) {
+            trace_length = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--output FILE] [--workloads N] "
+                         "[--reps N] [--trace-length N] [--verbose]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (reps < 1)
+        reps = 1;
+
+    // Spread the sample across the catalog so every workload class
+    // (legacy, online, spec-int-like, fp, ...) is represented.
+    const std::vector<WorkloadSpec> catalog = workloadCatalog();
+    std::vector<WorkloadSpec> sample;
+    const std::size_t stride =
+        std::max<std::size_t>(1, catalog.size() / n_workloads);
+    for (std::size_t i = 0; i < catalog.size() && sample.size() < n_workloads;
+         i += stride)
+        sample.push_back(catalog[i]);
+
+    SweepOptions opt;
+    opt.trace_length = trace_length;
+    opt.warmup_instructions = 10000;
+    std::vector<PipelineConfig> configs;
+    for (int p : {2, 7, 14, 25})
+        configs.push_back(opt.configAtDepth(p));
+
+    // --- direct phase breakdown (median over reps) -------------------
+    std::vector<double> gen_s, prep_s, ann_s, walk_s, total_s;
+    std::uint64_t instructions = 0;
+    for (int r = 0; r < reps; ++r) {
+        const PhaseSeconds s =
+            runPhases(sample, configs, trace_length, &instructions);
+        gen_s.push_back(s.trace_gen);
+        prep_s.push_back(s.prepare);
+        ann_s.push_back(s.annotate);
+        walk_s.push_back(s.timing_walk);
+        total_s.push_back(s.total());
+        if (verbose)
+            std::fprintf(stderr,
+                         "rep %d: gen %.3fs prepare %.3fs annotate "
+                         "%.3fs walk %.3fs\n",
+                         r, s.trace_gen, s.prepare, s.annotate,
+                         s.timing_walk);
+    }
+    const double walk_med = median(walk_s);
+    const double total_med = median(total_s);
+    const double walk_ips =
+        static_cast<double>(instructions) / walk_med;
+    const double total_ips =
+        static_cast<double>(instructions) / total_med;
+
+    // --- engine cold vs warm cache -----------------------------------
+    const auto cache_dir =
+        std::filesystem::temp_directory_path() /
+        ("pipedepth-bench-throughput-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(cache_dir);
+    SweepEngineOptions eng_opt;
+    eng_opt.cache_dir = cache_dir.string();
+
+    std::vector<double> cold_s, warm_s;
+    std::uint64_t cold_instr = 0;
+    for (int r = 0; r < reps; ++r) {
+        std::filesystem::remove_all(cache_dir);
+        SweepEngine cold(eng_opt);
+        auto t0 = Clock::now();
+        for (const WorkloadSpec &spec : sample)
+            cold.runConfigs(spec.makeTrace(trace_length), configs);
+        cold_s.push_back(secondsSince(t0));
+        cold_instr = cold.counters().instructions_simulated;
+
+        SweepEngine warm(eng_opt);
+        t0 = Clock::now();
+        for (const WorkloadSpec &spec : sample)
+            warm.runConfigs(spec.makeTrace(trace_length), configs);
+        warm_s.push_back(secondsSince(t0));
+        PP_ASSERT(warm.counters().cells_computed == 0,
+                  "warm pass was not fully served from cache");
+    }
+    std::filesystem::remove_all(cache_dir);
+
+    const double cold_med = median(cold_s);
+    const double warm_med = median(warm_s);
+
+    // --- JSON --------------------------------------------------------
+    std::string json;
+    char buf[512];
+    auto add = [&](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        json += buf;
+    };
+    add("{\n");
+    add("  \"methodology\": \"docs/PERFORMANCE.md\",\n");
+    add("  \"workloads\": %zu,\n", sample.size());
+    add("  \"depths\": [2, 7, 14, 25],\n");
+    add("  \"trace_length\": %zu,\n", trace_length);
+    add("  \"reps\": %d,\n", reps);
+    add("  \"instructions_per_rep\": %llu,\n",
+        static_cast<unsigned long long>(instructions));
+    add("  \"phase_seconds\": {\n");
+    add("    \"trace_gen\": %.6f,\n", median(gen_s));
+    add("    \"prepare_replay\": %.6f,\n", median(prep_s));
+    add("    \"annotate\": %.6f,\n", median(ann_s));
+    add("    \"timing_walk\": %.6f,\n", walk_med);
+    add("    \"total\": %.6f\n", total_med);
+    add("  },\n");
+    add("  \"timing_walk_instructions_per_second\": %.0f,\n", walk_ips);
+    add("  \"end_to_end_instructions_per_second\": %.0f,\n", total_ips);
+    add("  \"engine_cold_cache\": {\n");
+    add("    \"wall_seconds\": %.6f,\n", cold_med);
+    add("    \"instructions_per_second\": %.0f\n",
+        static_cast<double>(cold_instr) / cold_med);
+    add("  },\n");
+    add("  \"engine_warm_cache\": {\n");
+    add("    \"wall_seconds\": %.6f,\n", warm_med);
+    add("    \"speedup_over_cold\": %.2f\n", cold_med / warm_med);
+    add("  }\n");
+    add("}\n");
+
+    std::fputs(json.c_str(), stdout);
+    if (!output.empty()) {
+        std::FILE *f = std::fopen(output.c_str(), "w");
+        if (!f)
+            PP_FATAL("cannot write '", output, "'");
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+    }
+    return 0;
+}

@@ -11,6 +11,8 @@
  * are served from the on-disk result cache (disable with `--no-cache`
  * or PIPEDEPTH_CACHE_DIR=""). The engine's counter summary goes to
  * stderr, keeping stdout byte-identical between cold and warm runs.
+ * `--verbose` reports the resolved cache directory (and which
+ * environment rule chose it) on stderr.
  */
 
 #ifndef PIPEDEPTH_BENCH_BENCH_UTIL_HH
@@ -23,6 +25,7 @@
 #include <string>
 
 #include "common/table.hh"
+#include "sweep/result_cache.hh"
 #include "sweep/sweep_engine.hh"
 
 namespace pipedepth
@@ -33,6 +36,7 @@ struct BenchOptions
 {
     bool csv = false;
     bool no_cache = false;
+    bool verbose = false;
     std::size_t trace_length = 150000;
     std::size_t warmup = 60000;
     unsigned threads = 0; //!< 0 = hardware concurrency
@@ -73,6 +77,8 @@ parseBenchOptions(int argc, char **argv)
             opt.csv = true;
         } else if (arg == "--no-cache") {
             opt.no_cache = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
         } else if (arg == "--trace-length" && i + 1 < argc) {
             opt.trace_length =
                 static_cast<std::size_t>(std::strtoull(argv[++i],
@@ -82,10 +88,26 @@ parseBenchOptions(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--csv] [--no-cache] "
+                         "usage: %s [--csv] [--no-cache] [--verbose] "
                          "[--trace-length N] [--threads N]\n",
                          argv[0]);
             std::exit(2);
+        }
+    }
+    if (opt.verbose) {
+        if (opt.no_cache) {
+            std::fprintf(stderr, "result cache: disabled (--no-cache)\n");
+        } else {
+            const char *source = nullptr;
+            const std::string dir =
+                ResultCache::resolveDefaultDir(&source);
+            if (dir.empty())
+                std::fprintf(stderr,
+                             "result cache: disabled "
+                             "(PIPEDEPTH_CACHE_DIR is empty)\n");
+            else
+                std::fprintf(stderr, "result cache: %s (from %s)\n",
+                             dir.c_str(), source);
         }
     }
     return opt;

@@ -60,6 +60,20 @@ BimodalPredictor::update(std::uint64_t pc, bool taken)
     bump(table_[index(pc)], taken);
 }
 
+bool
+BimodalPredictor::predictAndTrain(std::uint64_t pc, bool taken)
+{
+    // One table index for predict + train (the generic path computes
+    // it twice through two virtual calls).
+    ++lookups;
+    std::uint8_t &ctr = table_[index(pc)];
+    const bool pred = ctr >= 2;
+    if (pred != taken)
+        ++mispredicts;
+    bump(ctr, taken);
+    return pred == taken;
+}
+
 GsharePredictor::GsharePredictor(int table_bits, int history_bits)
 {
     PP_ASSERT(table_bits >= 4 && table_bits <= 24,
@@ -88,6 +102,21 @@ GsharePredictor::update(std::uint64_t pc, bool taken)
 {
     bump(table_[index(pc)], taken);
     history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+bool
+GsharePredictor::predictAndTrain(std::uint64_t pc, bool taken)
+{
+    // predict() and update() index with the same pre-update history,
+    // so the shared index can be computed once here.
+    ++lookups;
+    std::uint8_t &ctr = table_[index(pc)];
+    const bool pred = ctr >= 2;
+    if (pred != taken)
+        ++mispredicts;
+    bump(ctr, taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+    return pred == taken;
 }
 
 std::unique_ptr<BranchPredictor>

@@ -41,8 +41,14 @@ class BranchPredictor
     std::uint64_t lookups = 0;
     std::uint64_t mispredicts = 0;
 
-    /** Convenience: predict, compare, update, count. */
-    bool
+    /**
+     * Predict, compare, update, count — the simulator's per-branch
+     * call. Virtual so table-based predictors can resolve it with a
+     * single table index and one dispatch instead of separate
+     * predict() and update() calls; overrides must be observationally
+     * identical to this default.
+     */
+    virtual bool
     predictAndTrain(std::uint64_t pc, bool taken)
     {
         ++lookups;
@@ -79,6 +85,7 @@ class BimodalPredictor : public BranchPredictor
 
     bool predict(std::uint64_t pc) override;
     void update(std::uint64_t pc, bool taken) override;
+    bool predictAndTrain(std::uint64_t pc, bool taken) override;
     std::string name() const override { return "bimodal"; }
 
   private:
@@ -100,6 +107,7 @@ class GsharePredictor : public BranchPredictor
 
     bool predict(std::uint64_t pc) override;
     void update(std::uint64_t pc, bool taken) override;
+    bool predictAndTrain(std::uint64_t pc, bool taken) override;
     std::string name() const override { return "gshare"; }
 
   private:

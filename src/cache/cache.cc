@@ -37,67 +37,29 @@ CacheConfig::validate() const
                  ")");
 }
 
+namespace
+{
+
+unsigned
+log2OfPow2(std::uint64_t v)
+{
+    unsigned shift = 0;
+    while ((1ull << shift) < v)
+        ++shift;
+    return shift;
+}
+
+} // namespace
+
 Cache::Cache(const CacheConfig &config) : config_(config)
 {
     config_.validate();
     sets_ = config_.size_bytes / config_.line_bytes /
             config_.associativity;
     ways_.assign(sets_ * config_.associativity, Way{});
-}
-
-std::uint64_t
-Cache::setIndex(std::uint64_t addr) const
-{
-    return (addr / config_.line_bytes) & (sets_ - 1);
-}
-
-std::uint64_t
-Cache::tagOf(std::uint64_t addr) const
-{
-    return addr / config_.line_bytes / sets_;
-}
-
-bool
-Cache::access(std::uint64_t addr)
-{
-    ++accesses_;
-    ++stamp_;
-    const std::uint64_t set = setIndex(addr);
-    const std::uint64_t tag = tagOf(addr);
-    Way *base = &ways_[set * config_.associativity];
-
-    Way *victim = base;
-    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == tag) {
-            way.lru = stamp_;
-            return true;
-        }
-        if (!way.valid) {
-            victim = &way;
-        } else if (victim->valid && way.lru < victim->lru) {
-            victim = &way;
-        }
-    }
-
-    ++misses_;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lru = stamp_;
-    return false;
-}
-
-bool
-Cache::probe(std::uint64_t addr) const
-{
-    const std::uint64_t set = setIndex(addr);
-    const std::uint64_t tag = tagOf(addr);
-    const Way *base = &ways_[set * config_.associativity];
-    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return true;
-    }
-    return false;
+    line_shift_ = log2OfPow2(config_.line_bytes);
+    tag_shift_ = line_shift_ + log2OfPow2(sets_);
+    set_mask_ = sets_ - 1;
 }
 
 void

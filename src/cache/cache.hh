@@ -39,6 +39,10 @@ class Cache
     /**
      * Access the line containing @p addr; allocates on miss.
      * @return true on hit
+     *
+     * Defined inline below: this is the simulator's hottest callee
+     * (one I-side access per instruction plus the D side), and the
+     * set/tag math uses precomputed shifts, not division.
      */
     bool access(std::uint64_t addr);
 
@@ -67,16 +71,71 @@ class Cache
         std::uint64_t lru = 0; //!< last-use stamp
     };
 
-    std::uint64_t setIndex(std::uint64_t addr) const;
-    std::uint64_t tagOf(std::uint64_t addr) const;
+    std::uint64_t
+    setIndex(std::uint64_t addr) const
+    {
+        return (addr >> line_shift_) & set_mask_;
+    }
+
+    std::uint64_t
+    tagOf(std::uint64_t addr) const
+    {
+        return addr >> tag_shift_;
+    }
 
     CacheConfig config_;
     std::vector<Way> ways_; //!< sets_ x associativity, row-major
     std::uint64_t sets_;
+    // Geometry is power-of-two by validation, so set/tag extraction
+    // is shifts and masks (addr / line_bytes == addr >> line_shift_).
+    unsigned line_shift_ = 0;  //!< log2(line_bytes)
+    unsigned tag_shift_ = 0;   //!< log2(line_bytes * sets)
+    std::uint64_t set_mask_ = 0; //!< sets - 1
     std::uint64_t stamp_ = 0;
     std::uint64_t accesses_ = 0;
     std::uint64_t misses_ = 0;
 };
+
+inline bool
+Cache::access(std::uint64_t addr)
+{
+    ++accesses_;
+    ++stamp_;
+    const std::uint64_t tag = tagOf(addr);
+    Way *base = &ways_[setIndex(addr) * config_.associativity];
+
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lru = stamp_;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lru < victim->lru) {
+            victim = &way;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = stamp_;
+    return false;
+}
+
+inline bool
+Cache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t tag = tagOf(addr);
+    const Way *base = &ways_[setIndex(addr) * config_.associativity];
+    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
 
 } // namespace pipedepth
 

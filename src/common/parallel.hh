@@ -36,11 +36,38 @@ namespace pipedepth
 {
 
 /**
+ * Workers parallelMap will actually spawn: the requested count
+ * (0 = hardware concurrency), capped at the number of chunk grabs
+ * ceil(items / chunk). A worker beyond that cap could never claim
+ * work — the cursor advances one whole chunk per grab — so spawning
+ * it would only pay thread start/join for nothing. Exposed for
+ * tests/common/test_parallel.cc; returns 0 for an empty input.
+ */
+inline unsigned
+parallelWorkerCount(unsigned threads, std::size_t items,
+                    std::size_t chunk)
+{
+    if (items == 0)
+        return 0;
+    if (chunk == 0)
+        chunk = 1;
+    if (threads == 0)
+        threads = std::thread::hardware_concurrency();
+    if (threads == 0)
+        threads = 1;
+    const std::size_t grabs = (items + chunk - 1) / chunk;
+    if (threads > grabs)
+        threads = static_cast<unsigned>(grabs);
+    return threads;
+}
+
+/**
  * Apply @p fn to every element of @p items on up to @p threads
  * workers; returns results in input order. fn must be safe to call
  * concurrently on distinct items.
  *
- * @param threads worker count; 0 = hardware concurrency
+ * @param threads worker count; 0 = hardware concurrency, capped at
+ *        ceil(items / chunk) (see parallelWorkerCount)
  * @param chunk   consecutive items claimed per scheduling step
  */
 template <typename T, typename Fn>
@@ -55,13 +82,7 @@ parallelMap(const std::vector<T> &items, Fn fn, unsigned threads = 0,
         return results;
     if (chunk == 0)
         chunk = 1;
-
-    if (threads == 0)
-        threads = std::thread::hardware_concurrency();
-    if (threads == 0)
-        threads = 1;
-    if (threads > items.size())
-        threads = static_cast<unsigned>(items.size());
+    threads = parallelWorkerCount(threads, items.size(), chunk);
 
     std::atomic<bool> failed{false};
     std::mutex error_mutex;

@@ -62,30 +62,12 @@ StallLedger::commit(std::int64_t retire_cycle, StallBucket cause)
     PP_ASSERT(isChargeableBucket(cause),
               "cannot charge derived bucket ",
               static_cast<int>(cause));
+    PP_ASSERT(retire_cycle > prev_retire_ ||
+                  retired_this_cycle_ < width_,
+              "more than ", width_, " retirements in cycle ",
+              retire_cycle);
 
-    const std::int64_t gap = retire_cycle - prev_retire_;
-    if (gap == 0) {
-        ++retired_this_cycle_;
-        PP_ASSERT(retired_this_cycle_ <= width_,
-                  "more than ", width_, " retirements in cycle ",
-                  retire_cycle);
-    } else {
-        ++work_cycles_;
-        retired_this_cycle_ = 1;
-        // Idle retire cycles between the previous retirement and this
-        // one, charged to whatever held this instruction back. The
-        // first instruction's gap is the pipeline fill.
-        const std::int64_t bubble = gap - 1;
-        if (bubble > 0) {
-            const StallBucket b =
-                n_ == 0 ? StallBucket::Drain : cause;
-            cycles_[static_cast<std::size_t>(b)] +=
-                static_cast<std::uint64_t>(bubble);
-            ++events_[static_cast<std::size_t>(b)];
-        }
-    }
-    prev_retire_ = retire_cycle;
-    ++n_;
+    commitImpl(retire_cycle, cause);
 }
 
 void

@@ -105,6 +105,20 @@ class StallLedger
     void commit(std::int64_t retire_cycle, StallBucket cause);
 
     /**
+     * commit() without the input-validation bookkeeping: identical
+     * bucket arithmetic, no precondition panics. The simulator uses
+     * this once per instruction when `audit_ledger` is off; its
+     * retire stream satisfies the preconditions by construction (the
+     * audited mode re-checks them, and the conservation residual
+     * still catches any drift at finalize()).
+     */
+    void
+    commitFast(std::int64_t retire_cycle, StallBucket cause)
+    {
+        commitImpl(retire_cycle, cause);
+    }
+
+    /**
      * Close the books: derive BaseWork and SuperscalarLoss, then
      * compute the residual against @p total_cycles (the simulator's
      * cycle count). Call exactly once, after the last commit().
@@ -131,6 +145,32 @@ class StallLedger
     bool finalized() const { return finalized_; }
 
   private:
+    /** The single-bucket commit fast path shared by both variants. */
+    void
+    commitImpl(std::int64_t retire_cycle, StallBucket cause)
+    {
+        const std::int64_t gap = retire_cycle - prev_retire_;
+        if (gap == 0) {
+            ++retired_this_cycle_;
+        } else {
+            ++work_cycles_;
+            retired_this_cycle_ = 1;
+            // Idle retire cycles between the previous retirement and
+            // this one, charged to whatever held this instruction
+            // back. The first instruction's gap is the pipeline fill.
+            const std::int64_t bubble = gap - 1;
+            if (bubble > 0) {
+                const StallBucket b =
+                    n_ == 0 ? StallBucket::Drain : cause;
+                cycles_[static_cast<std::size_t>(b)] +=
+                    static_cast<std::uint64_t>(bubble);
+                ++events_[static_cast<std::size_t>(b)];
+            }
+        }
+        prev_retire_ = retire_cycle;
+        ++n_;
+    }
+
     int width_;
     std::int64_t prev_retire_ = -1;
     int retired_this_cycle_ = 0;

@@ -248,19 +248,43 @@ ResultCache::ResultCache(const std::string &dir) : dir_(dir)
 }
 
 std::string
-ResultCache::resolveDefaultDir()
+ResultCache::resolveDefaultDir(const char **source)
 {
-    if (const char *env = std::getenv("PIPEDEPTH_CACHE_DIR"))
-        return env; // may be "", meaning: caching off
-    if (const char *xdg = std::getenv("XDG_CACHE_HOME")) {
-        if (*xdg)
-            return std::string(xdg) + "/pipedepth";
+    const char *matched = "cwd";
+    std::string dir = ".pipedepth-cache";
+    if (const char *env = std::getenv("PIPEDEPTH_CACHE_DIR")) {
+        matched = "PIPEDEPTH_CACHE_DIR";
+        dir = env; // may be "", meaning: caching off
+    } else if (const char *xdg = std::getenv("XDG_CACHE_HOME");
+               xdg && *xdg) {
+        matched = "XDG_CACHE_HOME";
+        dir = std::string(xdg) + "/pipedepth";
+    } else if (const char *home = std::getenv("HOME"); home && *home) {
+        matched = "HOME";
+        dir = std::string(home) + "/.cache/pipedepth";
     }
-    if (const char *home = std::getenv("HOME")) {
-        if (*home)
-            return std::string(home) + "/.cache/pipedepth";
+    if (source)
+        *source = matched;
+
+    // Announce the chosen directory once per process so a cache
+    // appearing somewhere unexpected is traceable to this decision.
+    static bool announced = false;
+    if (!announced) {
+        announced = true;
+        if (dir.empty()) {
+            PP_INFORM("result cache disabled (PIPEDEPTH_CACHE_DIR "
+                      "is empty)");
+        } else if (std::string(matched) == "cwd") {
+            PP_WARN("result cache falling back to ./", dir,
+                    " in the current directory (HOME and "
+                    "XDG_CACHE_HOME are unset); set "
+                    "PIPEDEPTH_CACHE_DIR to choose a location");
+        } else {
+            PP_INFORM("result cache directory: ", dir, " (from ",
+                      matched, ")");
+        }
     }
-    return ".pipedepth-cache";
+    return dir;
 }
 
 std::string

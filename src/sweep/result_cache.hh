@@ -73,8 +73,18 @@ class ResultCache
      * else $HOME/.cache/pipedepth, else .pipedepth-cache in the
      * working directory. An empty $PIPEDEPTH_CACHE_DIR disables
      * caching (returns "").
+     *
+     * The first resolution of a process announces the chosen
+     * directory on stderr (a warning when falling back to
+     * .pipedepth-cache in the current directory — that usually means
+     * HOME and XDG_CACHE_HOME are both unset, e.g. a stripped CI
+     * environment, and a cache directory silently appearing in the
+     * CWD is surprising). @p source, when non-null, receives a
+     * static string naming the rule that matched
+     * ("PIPEDEPTH_CACHE_DIR", "XDG_CACHE_HOME", "HOME" or "cwd") —
+     * tests use it to pin the resolution order.
      */
-    static std::string resolveDefaultDir();
+    static std::string resolveDefaultDir(const char **source = nullptr);
 
     bool enabled() const { return !dir_.empty(); }
     const std::string &dir() const { return dir_; }

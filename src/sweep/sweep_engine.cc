@@ -1,7 +1,9 @@
 #include "sweep/sweep_engine.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -34,6 +36,22 @@ SweepCounters::simMips() const
                : 0.0;
 }
 
+double
+SweepCounters::cellSecondsPercentile(double p) const
+{
+    if (cell_seconds.empty())
+        return 0.0;
+    std::vector<double> sorted = cell_seconds;
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::min(std::max(p, 0.0), 100.0);
+    // Nearest-rank: the smallest value with at least p% of the
+    // distribution at or below it.
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 *
+                  static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+}
+
 namespace
 {
 
@@ -46,6 +64,16 @@ struct CellTallies
     std::atomic<std::uint64_t> errors{0};
     std::atomic<std::uint64_t> traces{0};
     std::atomic<std::uint64_t> instructions{0};
+
+    std::mutex cell_seconds_mutex;
+    std::vector<double> cell_seconds; //!< computed cells only
+
+    void
+    recordCellSeconds(double seconds)
+    {
+        const std::lock_guard<std::mutex> lock(cell_seconds_mutex);
+        cell_seconds.push_back(seconds);
+    }
 };
 
 class WallTimer
@@ -70,7 +98,7 @@ class WallTimer
 };
 
 void
-foldTallies(SweepCounters &c, const CellTallies &t, std::uint64_t total)
+foldTallies(SweepCounters &c, CellTallies &t, std::uint64_t total)
 {
     c.cells_total += total;
     c.cells_computed += t.computed.load();
@@ -79,6 +107,9 @@ foldTallies(SweepCounters &c, const CellTallies &t, std::uint64_t total)
     c.cache_errors += t.errors.load();
     c.traces_generated += t.traces.load();
     c.instructions_simulated += t.instructions.load();
+    c.cell_seconds.insert(c.cell_seconds.end(),
+                          t.cell_seconds.begin(),
+                          t.cell_seconds.end());
 }
 
 } // namespace
@@ -108,17 +139,23 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
     const std::size_t n_depths = static_cast<std::size_t>(
         options.max_depth - options.min_depth + 1);
 
-    // One lazily generated trace per workload: cells share it, and a
-    // fully cached workload never generates it at all.
-    struct SpecTrace
+    // One lazily prepared replay buffer + annotation set per
+    // workload: cells share them, and a fully cached workload never
+    // generates its trace at all. The intermediate Trace is dropped
+    // as soon as the buffer is built; every depth of the workload
+    // replays the flat buffer against the precomputed
+    // microarchitectural outcomes (depth-invariant; see
+    // uarch/replay_annotations.hh).
+    struct SpecReplay
     {
         std::once_flag once;
-        Trace trace;
+        ReplayBuffer replay;
+        ReplayAnnotations annotations;
     };
-    std::vector<std::unique_ptr<SpecTrace>> traces;
-    traces.reserve(specs.size());
+    std::vector<std::unique_ptr<SpecReplay>> replays;
+    replays.reserve(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i)
-        traces.push_back(std::make_unique<SpecTrace>());
+        replays.push_back(std::make_unique<SpecReplay>());
 
     struct Cell
     {
@@ -151,13 +188,26 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
                 tallies.errors.fetch_add(1);
         }
 
-        SpecTrace &st = *traces[cell.spec];
-        std::call_once(st.once, [&]() {
-            st.trace = spec.makeTrace(options.trace_length);
+        SpecReplay &sr = *replays[cell.spec];
+        std::call_once(sr.once, [&]() {
+            sr.replay = prepareReplay(spec.makeTrace(options.trace_length));
+            sr.annotations = annotateReplay(sr.replay, config);
             tallies.traces.fetch_add(1);
         });
 
-        SimResult result = simulate(st.trace, config);
+        const auto cell_start = std::chrono::steady_clock::now();
+        // The annotations were built under one cell's config; every
+        // grid cell shares the microarchitectural key (only depth
+        // varies), so this hits the fast path. The fallback keeps
+        // exotic option sets correct rather than fast.
+        SimResult result =
+            sr.annotations.matches(config, sr.replay.size())
+                ? simulate(sr.replay, sr.annotations, config)
+                : simulate(sr.replay, config);
+        tallies.recordCellSeconds(
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - cell_start)
+                .count());
         tallies.computed.fetch_add(1);
         tallies.instructions.fetch_add(result.instructions);
         if (cache_.enabled() && cache_.store(key, result))
@@ -205,6 +255,11 @@ SweepEngine::runConfigs(const Trace &trace,
 {
     const WallTimer timer(&counters_.wall_seconds);
 
+    // Prepared on first cache miss, shared by every config after.
+    std::once_flag replay_once;
+    ReplayBuffer replay;
+    ReplayAnnotations annotations;
+
     CellTallies tallies;
     auto runCell = [&](const PipelineConfig &config) -> SimResult {
         CacheKey key;
@@ -220,7 +275,22 @@ SweepEngine::runConfigs(const Trace &trace,
             if (corrupt)
                 tallies.errors.fetch_add(1);
         }
-        SimResult result = simulate(trace, config);
+        std::call_once(replay_once, [&]() {
+            replay = prepareReplay(trace);
+            annotations = annotateReplay(replay, config);
+        });
+
+        const auto cell_start = std::chrono::steady_clock::now();
+        // Configs here may differ in more than depth; the annotated
+        // fast path only applies when the microarchitectural key of
+        // this config matches the one the annotations were built for.
+        SimResult result = annotations.matches(config, replay.size())
+                               ? simulate(replay, annotations, config)
+                               : simulate(replay, config);
+        tallies.recordCellSeconds(
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - cell_start)
+                .count());
         tallies.computed.fetch_add(1);
         tallies.instructions.fetch_add(result.instructions);
         if (cache_.enabled() && cache_.store(key, result))
@@ -249,6 +319,9 @@ SweepEngine::printSummary(std::ostream &os) const
     t.addColumn("Minstr", 1);
     t.addColumn("wall_s", 2);
     t.addColumn("sim_MIPS", 1);
+    t.addColumn("cell_p50_ms", 2);
+    t.addColumn("cell_p90_ms", 2);
+    t.addColumn("cell_max_ms", 2);
     t.beginRow();
     t.cell(static_cast<unsigned long>(c.cells_total));
     t.cell(static_cast<unsigned long>(c.cells_computed));
@@ -260,6 +333,9 @@ SweepEngine::printSummary(std::ostream &os) const
     t.cell(static_cast<double>(c.instructions_simulated) / 1e6);
     t.cell(c.wall_seconds);
     t.cell(c.simMips());
+    t.cell(1e3 * c.cellSecondsPercentile(50.0));
+    t.cell(1e3 * c.cellSecondsPercentile(90.0));
+    t.cell(1e3 * c.cellSecondsPercentile(100.0));
     os << "sweep engine ["
        << (cacheEnabled() ? "cache " + cache_.dir() : "cache off")
        << "]\n";

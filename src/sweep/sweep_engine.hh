@@ -65,11 +65,25 @@ struct SweepCounters
     std::uint64_t instructions_simulated = 0;
     double wall_seconds = 0.0;
 
+    /**
+     * Wall seconds of every *computed* cell (cache hits excluded —
+     * they are microseconds and would drown the distribution). The
+     * percentiles over this distribution are what tell a slow cell
+     * (one deep config of one workload) apart from a slow grid.
+     */
+    std::vector<double> cell_seconds;
+
     /** Fraction of cells served from cache (0 when no cells ran). */
     double hitRate() const;
 
     /** Simulated millions of instructions per wall second. */
     double simMips() const;
+
+    /**
+     * Nearest-rank percentile of cell_seconds, @p p in [0, 100];
+     * 0 when no cells were computed.
+     */
+    double cellSecondsPercentile(double p) const;
 };
 
 /**

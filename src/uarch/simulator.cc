@@ -5,8 +5,6 @@
 #include <map>
 #include <vector>
 
-#include "branch/predictor.hh"
-#include "cache/cache.hh"
 #include "common/logging.hh"
 #include "ledger/stall_ledger.hh"
 
@@ -38,7 +36,8 @@ class SlotRing
     {
         const Cycle t = std::max(candidate, times_[idx_] + 1);
         times_[idx_] = t;
-        idx_ = (idx_ + 1) % times_.size();
+        if (++idx_ == times_.size())
+            idx_ = 0;
         return t;
     }
 
@@ -72,7 +71,8 @@ class CapacityRing
     push(Cycle exit_time)
     {
         exits_[idx_] = exit_time;
-        idx_ = (idx_ + 1) % exits_.size();
+        if (++idx_ == exits_.size())
+            idx_ = 0;
     }
 
   private:
@@ -147,53 +147,6 @@ struct Activity
     }
 };
 
-/**
- * Bounded table of the most recent store per 8-byte dword, for
- * store-to-load forwarding when memory dependences are modeled.
- * Open-addressed overwrite-on-collision: misses only ever make a
- * dependence invisible (never invent one), which is the safe
- * direction for a timing model.
- */
-class StoreTable
-{
-  public:
-    void
-    recordStore(std::uint64_t addr, Cycle data_ready)
-    {
-        Entry &e = entries_[index(addr)];
-        e.dword = addr >> 3;
-        e.data_ready = data_ready;
-        e.valid = true;
-    }
-
-    /** Data-ready time of the latest store to this dword, or -1. */
-    Cycle
-    lastStore(std::uint64_t addr) const
-    {
-        const Entry &e = entries_[index(addr)];
-        if (e.valid && e.dword == (addr >> 3))
-            return e.data_ready;
-        return -1;
-    }
-
-  private:
-    struct Entry
-    {
-        std::uint64_t dword = 0;
-        Cycle data_ready = 0;
-        bool valid = false;
-    };
-
-    static std::size_t
-    index(std::uint64_t addr)
-    {
-        return (addr >> 3) & (kSize - 1);
-    }
-
-    static constexpr std::size_t kSize = 4096;
-    std::array<Entry, kSize> entries_{};
-};
-
 /** What kind of producer last wrote a register (for attribution). */
 enum class ProducerKind : std::uint8_t
 {
@@ -206,11 +159,14 @@ enum class ProducerKind : std::uint8_t
 } // namespace
 
 SimResult
-simulate(const Trace &trace, const PipelineConfig &config)
+simulate(const ReplayBuffer &replay, const ReplayAnnotations &annotations,
+         const PipelineConfig &config)
 {
     config.validate();
-    if (trace.empty())
+    if (replay.empty())
         PP_FATAL("cannot simulate an empty trace");
+    PP_ASSERT(annotations.matches(config, replay.size()),
+              "replay annotations do not match this configuration");
 
     const int dD = config.unit_depth[static_cast<std::size_t>(
         Unit::Decode)];
@@ -227,11 +183,14 @@ simulate(const Trace &trace, const PipelineConfig &config)
     const int dE = config.unit_depth[static_cast<std::size_t>(Unit::Fxu)];
     const int l2_penalty = config.l2PenaltyCycles();
     const int mem_penalty = config.missPenaltyCycles();
-
-    Cache icache(config.icache);
-    Cache dcache(config.dcache);
-    Cache l2cache(config.l2cache);
-    auto predictor = makePredictor(config.predictor);
+    // Loop-invariant pieces of the per-instruction work, hoisted:
+    // these are pure functions of the configuration, not of the
+    // instruction.
+    const int fwd_latency = config.forwardLatency(dE);
+    const int taken_bubble = config.takenBranchBubble();
+    const bool in_order = config.in_order;
+    const bool model_memdep = config.model_memory_dependences;
+    const bool audited = config.audit_ledger;
 
     SlotRing fetch_slots(config.width);
     SlotRing decode_slots(config.width);
@@ -259,23 +218,16 @@ simulate(const Trace &trace, const PipelineConfig &config)
     };
 
     SimResult res;
-    res.workload = trace.name;
+    res.workload = replay.name;
     res.depth = config.depth;
     res.cycle_time_fo4 = config.cycleTime();
     res.config = config;
 
-    // Penalty beyond the L1 pipe for a miss: L2 hit latency, plus
-    // memory on an L2 miss. Both are constant in absolute time and
-    // therefore grow in cycles as the pipeline deepens.
-    auto miss_penalty_for = [&](std::uint64_t addr) {
-        ++res.l2_accesses;
-        if (l2cache.access(addr))
-            return l2_penalty;
-        ++res.l2_misses;
-        return l2_penalty + mem_penalty;
-    };
-
-    StoreTable store_table; // store-to-load forwarding (optional)
+    // Data-ready cycle of each recorded store, indexed by the store
+    // sequence numbers the annotations refer to. A dense array read
+    // replaces the store table's hash probes on the timing walk.
+    std::vector<Cycle> store_ready(annotations.num_stores, 0);
+    std::uint32_t store_seq = 0;
 
     Cycle fetch_seq = 0;     //!< earliest fetch for the next instruction
     Cycle decode_seq = 0;
@@ -318,22 +270,10 @@ simulate(const Trace &trace, const PipelineConfig &config)
 
     StallLedger ledger(config.width);
 
-    // Warm the predictor and cache hierarchy (see
-    // PipelineConfig::warmup_instructions).
-    const std::size_t warm =
-        std::min(config.warmup_instructions, trace.size());
-    for (std::size_t i = 0; i < warm; ++i) {
-        const TraceRecord &r = trace.records[i];
-        if (r.op == OpClass::BranchCond)
-            predictor->predictAndTrain(r.pc, r.taken);
-        if (!icache.access(r.pc))
-            l2cache.access(r.pc);
-        if (opTraits(r.op).is_mem && !dcache.access(r.mem_addr))
-            l2cache.access(r.mem_addr);
-    }
-
-    for (const TraceRecord &r : trace.records) {
-        const OpTraits &t = opTraits(r.op);
+    for (std::size_t i = 0; i < replay.size(); ++i) {
+        const ReplayOp &r = replay.ops[i];
+        const std::uint8_t ann = annotations.flags[i];
+        const bool is_mem = r.is(kReplayMem);
         // The last binding constraint this instruction met on its way
         // to issue (used when its retire bubble is bound by arrival).
         Cause path_cause = Cause::Other;
@@ -348,9 +288,18 @@ simulate(const Trace &trace, const PipelineConfig &config)
         }
         Cycle f = fetch_slots.grant(f_base);
         ++res.icache_accesses;
-        if (!icache.access(r.pc)) {
+        if (ann & kAnnICacheMiss) {
             ++res.icache_misses;
-            f += miss_penalty_for(r.pc);
+            // Penalty beyond the L1 pipe for a miss: L2 hit latency,
+            // plus memory on an L2 miss. Both are constant in
+            // absolute time and therefore grow in cycles as the
+            // pipeline deepens.
+            ++res.l2_accesses;
+            f += l2_penalty;
+            if (ann & kAnnICacheL2Miss) {
+                ++res.l2_misses;
+                f += mem_penalty;
+            }
             path_cause = Cause::ICache;
         }
         act(Unit::Fetch).add(f, f + 1);
@@ -364,7 +313,7 @@ simulate(const Trace &trace, const PipelineConfig &config)
 
         // ---- Dispatch with queue backpressure -------------------------
         Cycle dispatch;
-        if (t.is_mem) {
+        if (is_mem) {
             dispatch = agen_queue.entryOk(de);
         } else {
             dispatch = exec_queue.entryOk(de);
@@ -377,7 +326,7 @@ simulate(const Trace &trace, const PipelineConfig &config)
         Cycle cache_done = 0;
         bool dcache_missed = false;
 
-        if (t.is_mem) {
+        if (is_mem) {
             // ---- Agen Q -> Agen -> Cache Access -----------------------
             const Cycle base_ready = r.src3 != kNoReg
                                          ? reg_ready[r.src3]
@@ -403,7 +352,7 @@ simulate(const Trace &trace, const PipelineConfig &config)
 
             // Stores must have their data by the cache access.
             Cycle cache_start = agen_done;
-            if (t.is_store && r.src1 != kNoReg &&
+            if (r.is(kReplayStore) && r.src1 != kNoReg &&
                 reg_ready[r.src1] > cache_start) {
                 cache_start = reg_ready[r.src1];
                 path_cause = dep_cause(reg_producer[r.src1],
@@ -411,29 +360,24 @@ simulate(const Trace &trace, const PipelineConfig &config)
             }
 
             // A load hitting a recent store's dword takes the
-            // forwarding path instead of the memory path, so the
-            // forwarding decision comes first: a forwarded access
-            // must not perturb cache/L2 state or count as a miss.
+            // forwarding path instead of the memory path. The
+            // annotations recorded the decision (it is trace-order
+            // state, not timing state); only the store's
+            // depth-dependent data-ready cycle is looked up here.
             ++res.dcache_accesses;
-            bool forwarded = false;
-            if (config.model_memory_dependences && t.is_load) {
-                const Cycle st = store_table.lastStore(r.mem_addr);
-                if (st >= 0) {
-                    forwarded = true;
-                    // One cycle after the store data is ready, but
-                    // never earlier than the load's own pipe stage.
-                    const Cycle pipe_done = cache_start + dC;
-                    cache_done = std::max(pipe_done, st + 1);
-                    // Only a *binding* wait for the store's data is a
-                    // load interlock; forwarding that shortens the
-                    // path is not a hazard.
-                    if (cache_done > pipe_done)
-                        path_cause = Cause::DepLoad;
-                }
-            }
-            if (!forwarded) {
-                const bool hit = dcache.access(r.mem_addr);
-                dcache_missed = !hit;
+            if (ann & kAnnForwarded) {
+                const Cycle st = store_ready[annotations.fwd_store[i]];
+                // One cycle after the store data is ready, but never
+                // earlier than the load's own pipe stage.
+                const Cycle pipe_done = cache_start + dC;
+                cache_done = std::max(pipe_done, st + 1);
+                // Only a *binding* wait for the store's data is a
+                // load interlock; forwarding that shortens the path
+                // is not a hazard.
+                if (cache_done > pipe_done)
+                    path_cause = Cause::DepLoad;
+            } else {
+                dcache_missed = (ann & kAnnDCacheMiss) != 0;
                 cache_done = cache_start + dC;
                 if (dcache_missed) {
                     // The miss *event* is counted here at the miss
@@ -442,16 +386,21 @@ simulate(const Trace &trace, const PipelineConfig &config)
                     // many bubbles the miss later causes.
                     ++res.dcache_misses;
                     ++res.dcache_miss_events;
-                    cache_done += miss_penalty_for(r.mem_addr);
+                    ++res.l2_accesses;
+                    cache_done += l2_penalty;
+                    if (ann & kAnnDCacheL2Miss) {
+                        ++res.l2_misses;
+                        cache_done += mem_penalty;
+                    }
                     // The op reaches issue late by a constant-time
                     // memory stall.
                     path_cause = Cause::DCacheMiss;
                 }
             }
-            if (config.model_memory_dependences && t.is_store) {
+            if (model_memdep && r.is(kReplayStore)) {
                 // Data becomes forwardable once the store reaches
                 // the cache stage with its operand in hand.
-                store_table.recordStore(r.mem_addr, cache_start);
+                store_ready[store_seq++] = cache_start;
             }
             if (dC > 0) {
                 act(Unit::DCache).add(cache_start, cache_start + dC);
@@ -467,13 +416,13 @@ simulate(const Trace &trace, const PipelineConfig &config)
         // Memory ops that complete at the cache carry their arrival
         // path's constraint; exec-path ops refine it at issue below.
         Cause stall_cause = path_cause;
-        if (t.is_store || r.op == OpClass::Load) {
+        if (r.is(kReplayStore) || r.opClass() == OpClass::Load) {
             // Stores and pure loads complete at the cache; they do
             // not pass the execution pipe (only RX *ALU* ops do).
             // Load data forwards to consumers straight from the
             // cache.
             ecomp = cache_done;
-            if (r.op == OpClass::Load && r.dst != kNoReg) {
+            if (r.opClass() == OpClass::Load && r.dst != kNoReg) {
                 reg_ready[r.dst] = cache_done + 1;
                 reg_producer[r.dst] = ProducerKind::Load;
                 reg_missed[r.dst] = dcache_missed;
@@ -495,14 +444,16 @@ simulate(const Trace &trace, const PipelineConfig &config)
             need(r.src1);
             need(r.src2);
 
+            const bool is_fp = r.is(kReplayFp);
+            const bool unpipelined = r.is(kReplayUnpipelined);
             Cycle busy = 0;
-            if (t.is_fp)
+            if (is_fp)
                 busy = fpu_busy;
-            if (r.op == OpClass::IntDiv)
+            if (r.opClass() == OpClass::IntDiv)
                 busy = std::max(busy, div_busy);
 
             Cycle eissue;
-            if (config.in_order) {
+            if (in_order) {
                 const Cycle cand =
                     std::max({ready, busy, exec_arrival, exec_seq});
                 eissue = exec_slots.grant(cand);
@@ -538,60 +489,54 @@ simulate(const Trace &trace, const PipelineConfig &config)
                 stall_cause = Cause::UnitBusy;
             }
             exec_queue.push(eissue);
-            const Cycle entry = t.is_mem ? cache_done : dispatch;
+            const Cycle entry = is_mem ? cache_done : dispatch;
             act(Unit::ExecQ).add(entry, eissue);
 
-            const int latency = dE + (t.exec_latency - 1);
+            const int latency = dE + (r.exec_latency - 1);
             ecomp = eissue + latency;
             // Dependents of simple pipelined integer ops see the
             // forwarded result early (see PipelineConfig::fwd_frac);
             // everything else pays the full path.
             Cycle result_ready = ecomp;
-            if (!t.is_fp && !t.is_mem && !t.unpipelined) {
+            if (!is_fp && !is_mem && !unpipelined) {
                 result_ready =
-                    eissue + config.forwardLatency(dE) +
-                    (t.exec_latency - 1);
+                    eissue + fwd_latency + (r.exec_latency - 1);
             }
-            if (t.is_fp) {
+            if (is_fp) {
                 act(Unit::Fpu).add(eissue, ecomp);
-                if (t.unpipelined)
+                if (unpipelined)
                     fpu_busy = ecomp;
             } else {
                 act(Unit::Fxu).add(eissue, ecomp);
-                if (dC == 0 && t.is_mem) {
+                if (dC == 0 && is_mem) {
                     // Cache access merged into the execute cycle.
                     act(Unit::DCache).add(eissue, ecomp);
                 }
-                if (t.unpipelined)
+                if (unpipelined)
                     div_busy = ecomp;
             }
 
             if (r.dst != kNoReg) {
                 reg_ready[r.dst] = result_ready;
-                reg_producer[r.dst] = t.is_load ? ProducerKind::Load
-                                     : t.is_fp ? ProducerKind::Fp
-                                               : ProducerKind::Int;
-                reg_missed[r.dst] = t.is_load && dcache_missed;
+                reg_producer[r.dst] = r.is(kReplayLoad)
+                                          ? ProducerKind::Load
+                                      : is_fp ? ProducerKind::Fp
+                                              : ProducerKind::Int;
+                reg_missed[r.dst] = r.is(kReplayLoad) && dcache_missed;
             }
         }
 
         // ---- Branch resolution ------------------------------------------
-        if (t.is_branch) {
+        if (r.is(kReplayBranch)) {
             ++res.branches;
-            bool correct = true;
-            if (r.op == OpClass::BranchCond) {
-                correct = predictor->predictAndTrain(r.pc, r.taken);
-            }
-            if (!correct) {
+            if (ann & kAnnMispredict) {
                 ++res.mispredict_events;
                 ++res.mispredicts;
                 redirect_time = std::max(redirect_time, ecomp + 1);
-            } else if (r.taken) {
+            } else if (r.is(kReplayTaken)) {
                 // Correctly predicted taken branches still break the
                 // fetch group (one-bubble redirect through the BTB).
-                fetch_seq =
-                    std::max(fetch_seq,
-                             f + config.takenBranchBubble());
+                fetch_seq = std::max(fetch_seq, f + taken_bubble);
             }
         }
 
@@ -605,7 +550,12 @@ simulate(const Trace &trace, const PipelineConfig &config)
             retire_slots.grant(std::max(comp + 1, retire_seq));
         retire_seq = ret;
         act(Unit::Retire).add(ret, ret + 1);
-        ledger.commit(ret, stall_cause);
+        // The fast path charges the same single bucket; the audited
+        // path re-validates the retire-stream preconditions.
+        if (audited)
+            ledger.commit(ret, stall_cause);
+        else
+            ledger.commitFast(ret, stall_cause);
 
         fetch_buffer.push(d);
         inflight.push(ret);
@@ -634,7 +584,7 @@ simulate(const Trace &trace, const PipelineConfig &config)
     res.ledger_residual = ledger.residual();
     if (config.audit_ledger) {
         PP_ASSERT(res.ledger_residual == 0,
-                  "stall ledger conservation violated for '", trace.name,
+                  "stall ledger conservation violated for '", replay.name,
                   "' at depth ", config.depth, ": residual ",
                   res.ledger_residual);
     }
@@ -646,6 +596,18 @@ simulate(const Trace &trace, const PipelineConfig &config)
         res.units[u].ops = activity[u].ops;
     }
     return res;
+}
+
+SimResult
+simulate(const ReplayBuffer &replay, const PipelineConfig &config)
+{
+    return simulate(replay, annotateReplay(replay, config), config);
+}
+
+SimResult
+simulate(const Trace &trace, const PipelineConfig &config)
+{
+    return simulate(prepareReplay(trace), config);
 }
 
 SimResult

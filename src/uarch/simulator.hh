@@ -38,14 +38,32 @@
 #ifndef PIPEDEPTH_UARCH_SIMULATOR_HH
 #define PIPEDEPTH_UARCH_SIMULATOR_HH
 
+#include "trace/replay_buffer.hh"
 #include "trace/trace.hh"
 #include "uarch/pipeline_config.hh"
+#include "uarch/replay_annotations.hh"
 #include "uarch/sim_result.hh"
 
 namespace pipedepth
 {
 
-/** Run @p trace through the pipeline described by @p config. */
+/**
+ * The hot entry point: the pure timing walk over a prepared replay
+ * buffer and its precomputed microarchitectural outcomes. Callers
+ * sweeping one workload over many depths should prepareReplay() and
+ * annotateReplay() once and reuse both across configurations (both
+ * are read-only here; the annotations must match @p config's
+ * microarchitectural key). Byte-identical to the Trace overload.
+ */
+SimResult simulate(const ReplayBuffer &replay,
+                   const ReplayAnnotations &annotations,
+                   const PipelineConfig &config);
+
+/** Annotate @p replay for @p config, then run the timing walk. */
+SimResult simulate(const ReplayBuffer &replay,
+                   const PipelineConfig &config);
+
+/** Convenience: prepare a replay of @p trace and simulate it. */
 SimResult simulate(const Trace &trace, const PipelineConfig &config);
 
 /** Convenience: simulate at a given depth with default configuration. */

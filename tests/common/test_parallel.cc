@@ -204,5 +204,43 @@ TEST(ParallelMap, MoreThreadsThanItems)
     EXPECT_EQ(out, (std::vector<int>{10, 20}));
 }
 
+TEST(ParallelWorkerCount, CapsAtChunkGrabs)
+{
+    // 10 items in chunks of 4 is 3 grabs: a 4th worker could never
+    // claim work, so only 3 may spawn. This is the regression test
+    // for the over-spawn bug (workers were capped at the item count,
+    // not the grab count).
+    EXPECT_EQ(parallelWorkerCount(8, 10, 4), 3u);
+    EXPECT_EQ(parallelWorkerCount(8, 12, 4), 3u);
+    EXPECT_EQ(parallelWorkerCount(8, 13, 4), 4u);
+    // Fewer requested than grabs: the request wins.
+    EXPECT_EQ(parallelWorkerCount(2, 100, 1), 2u);
+    // chunk=1: cap degenerates to the item count.
+    EXPECT_EQ(parallelWorkerCount(16, 2, 1), 2u);
+}
+
+TEST(ParallelWorkerCount, EdgeCases)
+{
+    EXPECT_EQ(parallelWorkerCount(4, 0, 1), 0u);
+    // chunk=0 is treated as 1, like parallelMap does.
+    EXPECT_EQ(parallelWorkerCount(4, 3, 0), 3u);
+    // threads=0 resolves to hardware concurrency (at least one).
+    EXPECT_GE(parallelWorkerCount(0, 1000000, 1), 1u);
+    // A single grab covering everything needs exactly one worker.
+    EXPECT_EQ(parallelWorkerCount(8, 100, 1000), 1u);
+}
+
+TEST(ParallelMap, ChunkLargerThanInputStillRunsEverything)
+{
+    // One grab covers the whole input; results and order intact.
+    std::vector<int> items(37);
+    std::iota(items.begin(), items.end(), 0);
+    const auto out =
+        parallelMap(items, [](int v) { return v - 1; }, 8, 64);
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) - 1);
+}
+
 } // namespace
 } // namespace pipedepth

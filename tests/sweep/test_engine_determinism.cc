@@ -5,20 +5,115 @@
  * thread, on many threads, or is replayed from the on-disk cache.
  * This is what makes cached sweeps trustworthy — a cache hit is
  * provably the same answer, not a similar one.
+ *
+ * The GoldenHashes tests go further and pin the results themselves:
+ * a checked-in table (golden_sim_hashes.inc) holds the content hash
+ * of every catalog workload's serialized SimResult at depths
+ * {2, 7, 14, 25}. They are the contract that performance work on the
+ * simulator must not change behaviour — regenerate the table with
+ * sim_golden_dump only for an intentional semantics change.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "sweep/cache_key.hh"
 #include "sweep/result_cache.hh"
 #include "sweep/sweep_engine.hh"
+#include "workloads/catalog.hh"
 
 namespace pipedepth
 {
 namespace
 {
+
+/** One pinned cell of the golden table. */
+struct GoldenCell
+{
+    const char *workload;
+    int depth;
+    std::uint64_t hash;
+};
+
+const GoldenCell kGoldenCells[] = {
+#include "golden_sim_hashes.inc"
+};
+
+constexpr std::size_t kGoldenLength = 30000;
+constexpr std::size_t kGoldenWarmup = 10000;
+const int kGoldenDepths[] = {2, 7, 14, 25};
+
+/** FNV-1a over the canonical serialized form — the same hash
+ *  sim_golden_dump prints, so tables regenerate byte-for-byte. */
+std::uint64_t
+resultHash(const SimResult &r)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::uint8_t b : serializeSimResult(r))
+        h = (h ^ b) * 1099511628211ull;
+    return h;
+}
+
+SweepOptions
+goldenOptions()
+{
+    SweepOptions opt;
+    opt.trace_length = kGoldenLength;
+    opt.warmup_instructions = kGoldenWarmup;
+    return opt;
+}
+
+std::map<std::pair<std::string, int>, std::uint64_t>
+goldenTable()
+{
+    std::map<std::pair<std::string, int>, std::uint64_t> t;
+    for (const GoldenCell &c : kGoldenCells)
+        t[{c.workload, c.depth}] = c.hash;
+    return t;
+}
+
+/** Run the whole catalog at the golden depths on @p engine and check
+ *  every cell's hash against the table. @p label names the pass in
+ *  failure messages. */
+void
+checkCatalogAgainstGolden(SweepEngine &engine, const char *label)
+{
+    const auto golden = goldenTable();
+    const SweepOptions opt = goldenOptions();
+    std::vector<PipelineConfig> configs;
+    for (int p : kGoldenDepths)
+        configs.push_back(opt.configAtDepth(p));
+
+    std::size_t checked = 0;
+    for (const WorkloadSpec &spec : workloadCatalog()) {
+        const Trace trace = spec.makeTrace(kGoldenLength);
+        const std::vector<SimResult> runs =
+            engine.runConfigs(trace, configs);
+        ASSERT_EQ(runs.size(), configs.size());
+        for (const SimResult &r : runs) {
+            const auto it = golden.find({spec.name, r.depth});
+            ASSERT_NE(it, golden.end())
+                << label << ": workload " << spec.name << " depth "
+                << r.depth << " missing from golden_sim_hashes.inc "
+                << "(regenerate with sim_golden_dump)";
+            EXPECT_EQ(resultHash(r), it->second)
+                << label << ": result bytes changed for workload "
+                << spec.name << " at depth " << r.depth
+                << " — simulator semantics drifted (regenerate the "
+                << "table only if the change is intentional)";
+            ++checked;
+        }
+    }
+    // Every pinned cell was exercised: catalog shrinkage would
+    // otherwise silently skip table rows.
+    EXPECT_EQ(checked, golden.size()) << label;
+}
 
 SweepOptions
 fastOptions()
@@ -145,6 +240,45 @@ TEST(EngineDeterminism, RunDepthSweepMatchesEngineGrid)
     for (std::size_t j = 0; j < direct.runs.size(); ++j)
         EXPECT_EQ(serializeSimResult(direct.runs[j]),
                   serializeSimResult(wrapped.runs[j]));
+}
+
+TEST(GoldenHashes, SingleThreadMatchesTable)
+{
+    SweepEngine engine = uncachedEngine(1);
+    checkCatalogAgainstGolden(engine, "1-thread");
+}
+
+TEST(GoldenHashes, MultiThreadMatchesTable)
+{
+    SweepEngine engine = uncachedEngine(8);
+    checkCatalogAgainstGolden(engine, "8-thread");
+}
+
+TEST(GoldenHashes, CacheReplayMatchesTable)
+{
+    const auto dir = std::filesystem::path(::testing::TempDir()) /
+                     "pipedepth-golden-replay";
+    std::filesystem::remove_all(dir);
+
+    SweepEngineOptions opt;
+    opt.cache_dir = dir.string();
+
+    {
+        SweepEngine cold(opt);
+        checkCatalogAgainstGolden(cold, "cold-cache");
+        EXPECT_EQ(cold.counters().cache_hits, 0u);
+    }
+    {
+        SweepEngine warm(opt);
+        checkCatalogAgainstGolden(warm, "cache-replay");
+        // Every cell must have come from the cache: this pass proves
+        // the serialized entries round-trip to the golden bytes.
+        const SweepCounters c = warm.counters();
+        EXPECT_EQ(c.cache_hits, c.cells_total);
+        EXPECT_EQ(c.cells_computed, 0u);
+    }
+
+    std::filesystem::remove_all(dir);
 }
 
 TEST(EngineDeterminism, CacheKeysAreReproducible)

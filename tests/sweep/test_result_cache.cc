@@ -10,8 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "sweep/cache_key.hh"
 #include "sweep/result_cache.hh"
@@ -257,6 +262,116 @@ TEST(CacheKeyHex, StableAndDistinct)
     PipelineConfig warm = PipelineConfig::forDepth(8);
     warm.warmup_instructions = 777;
     EXPECT_NE(base, simCellKey(spec, 1000, warm));
+}
+
+/**
+ * Saves and restores the three environment variables the default-dir
+ * resolution reads, so the tests can rearrange them freely.
+ */
+class DefaultDirEnv : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        save("PIPEDEPTH_CACHE_DIR");
+        save("XDG_CACHE_HOME");
+        save("HOME");
+    }
+
+    void
+    TearDown() override
+    {
+        for (const auto &[name, value] : saved_) {
+            if (value)
+                ::setenv(name.c_str(), value->c_str(), 1);
+            else
+                ::unsetenv(name.c_str());
+        }
+    }
+
+    static void
+    clearAll()
+    {
+        ::unsetenv("PIPEDEPTH_CACHE_DIR");
+        ::unsetenv("XDG_CACHE_HOME");
+        ::unsetenv("HOME");
+    }
+
+  private:
+    void
+    save(const char *name)
+    {
+        const char *v = std::getenv(name);
+        saved_.emplace_back(name, v ? std::optional<std::string>(v)
+                                    : std::nullopt);
+    }
+
+    std::vector<std::pair<std::string, std::optional<std::string>>>
+        saved_;
+};
+
+TEST_F(DefaultDirEnv, ExplicitDirWinsOverEverything)
+{
+    clearAll();
+    ::setenv("PIPEDEPTH_CACHE_DIR", "/tmp/pd-explicit", 1);
+    ::setenv("XDG_CACHE_HOME", "/tmp/pd-xdg", 1);
+    ::setenv("HOME", "/tmp/pd-home", 1);
+    const char *source = nullptr;
+    EXPECT_EQ(ResultCache::resolveDefaultDir(&source),
+              "/tmp/pd-explicit");
+    EXPECT_STREQ(source, "PIPEDEPTH_CACHE_DIR");
+}
+
+TEST_F(DefaultDirEnv, EmptyExplicitDirDisablesCaching)
+{
+    clearAll();
+    ::setenv("PIPEDEPTH_CACHE_DIR", "", 1);
+    ::setenv("HOME", "/tmp/pd-home", 1);
+    const char *source = nullptr;
+    EXPECT_EQ(ResultCache::resolveDefaultDir(&source), "");
+    EXPECT_STREQ(source, "PIPEDEPTH_CACHE_DIR");
+}
+
+TEST_F(DefaultDirEnv, XdgCacheHomeBeatsHome)
+{
+    clearAll();
+    ::setenv("XDG_CACHE_HOME", "/tmp/pd-xdg", 1);
+    ::setenv("HOME", "/tmp/pd-home", 1);
+    const char *source = nullptr;
+    EXPECT_EQ(ResultCache::resolveDefaultDir(&source),
+              "/tmp/pd-xdg/pipedepth");
+    EXPECT_STREQ(source, "XDG_CACHE_HOME");
+}
+
+TEST_F(DefaultDirEnv, EmptyXdgFallsThroughToHome)
+{
+    clearAll();
+    ::setenv("XDG_CACHE_HOME", "", 1);
+    ::setenv("HOME", "/tmp/pd-home", 1);
+    const char *source = nullptr;
+    EXPECT_EQ(ResultCache::resolveDefaultDir(&source),
+              "/tmp/pd-home/.cache/pipedepth");
+    EXPECT_STREQ(source, "HOME");
+}
+
+TEST_F(DefaultDirEnv, NothingSetFallsBackToCwdDir)
+{
+    clearAll();
+    const char *source = nullptr;
+    EXPECT_EQ(ResultCache::resolveDefaultDir(&source),
+              ".pipedepth-cache");
+    EXPECT_STREQ(source, "cwd");
+}
+
+TEST_F(DefaultDirEnv, EmptyHomeFallsBackToCwdDir)
+{
+    clearAll();
+    ::setenv("HOME", "", 1);
+    const char *source = nullptr;
+    EXPECT_EQ(ResultCache::resolveDefaultDir(&source),
+              ".pipedepth-cache");
+    EXPECT_STREQ(source, "cwd");
 }
 
 } // namespace

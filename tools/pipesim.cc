@@ -25,7 +25,16 @@
  * Runs go through the SweepEngine: sweep depths simulate in parallel
  * and every result is memoized in the on-disk cache, keyed by the
  * full trace contents (so tape files cache correctly too). --no-cache
- * bypasses the cache; the engine summary prints to stderr.
+ * bypasses the cache; the engine summary prints to stderr. --verbose
+ * additionally reports the resolved cache directory and the rule that
+ * chose it. --perf-json FILE writes the engine's performance counters
+ * (cells computed, cache hits, wall time, per-cell wall-time
+ * percentiles) as JSON to FILE ("-" for stdout) for the perf
+ * harness.
+ *
+ * Unknown flags, a missing flag argument, or an unknown workload name
+ * print usage / the catalog hint and exit with status 2; simulation
+ * failures exit 1.
  */
 
 #include <cstdio>
@@ -39,6 +48,7 @@
 #include "common/table.hh"
 #include "math/least_squares.hh"
 #include "power/activity_power.hh"
+#include "sweep/result_cache.hh"
 #include "sweep/sweep_engine.hh"
 #include "trace/trace_io.hh"
 #include "uarch/simulator.hh"
@@ -57,9 +67,41 @@ usage(const char *argv0)
         "usage: %s (--tape FILE | --workload NAME) [--depth P | --sweep]\n"
         "          [--ooo] [--predictor bimodal|gshare|taken]\n"
         "          [--length N] [--warmup N] [--csv] [--no-cache]\n"
-        "          [--threads N] [--stalls] [--stalls-json] [--audit]\n",
+        "          [--threads N] [--stalls] [--stalls-json] [--audit]\n"
+        "          [--verbose] [--perf-json FILE]\n",
         argv0);
     std::exit(2);
+}
+
+/** Engine counters as a JSON object, for the perf harness. */
+void
+writePerfJson(const SweepCounters &c, std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"cells_total\": %llu,\n"
+        "  \"cells_computed\": %llu,\n"
+        "  \"cache_hits\": %llu,\n"
+        "  \"cache_stores\": %llu,\n"
+        "  \"cache_errors\": %llu,\n"
+        "  \"traces_generated\": %llu,\n"
+        "  \"instructions_simulated\": %llu,\n"
+        "  \"wall_seconds\": %.6f,\n"
+        "  \"sim_mips\": %.3f,\n"
+        "  \"cell_seconds_p50\": %.6f,\n"
+        "  \"cell_seconds_p90\": %.6f,\n"
+        "  \"cell_seconds_max\": %.6f\n"
+        "}\n",
+        static_cast<unsigned long long>(c.cells_total),
+        static_cast<unsigned long long>(c.cells_computed),
+        static_cast<unsigned long long>(c.cache_hits),
+        static_cast<unsigned long long>(c.cache_stores),
+        static_cast<unsigned long long>(c.cache_errors),
+        static_cast<unsigned long long>(c.traces_generated),
+        static_cast<unsigned long long>(c.instructions_simulated),
+        c.wall_seconds, c.simMips(), c.cellSecondsPercentile(50.0),
+        c.cellSecondsPercentile(90.0), c.cellSecondsPercentile(100.0));
 }
 
 /** Per-instruction event count of the buckets that have one. */
@@ -224,6 +266,8 @@ main(int argc, char **argv)
     bool stalls = false;
     bool stalls_json = false;
     bool audit = false;
+    bool verbose = false;
+    std::string perf_json;
     unsigned threads = 0;
     std::size_t length = 200000;
     std::size_t warmup = 60000;
@@ -257,6 +301,10 @@ main(int argc, char **argv)
             stalls_json = true;
         } else if (arg == "--audit") {
             audit = true;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--perf-json" && i + 1 < argc) {
+            perf_json = argv[++i];
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
@@ -278,6 +326,19 @@ main(int argc, char **argv)
     if (tape.empty() == workload.empty())
         usage(argv[0]); // exactly one source
 
+    if (!workload.empty()) {
+        bool known = false;
+        for (const auto &w : workloadCatalog())
+            known = known || w.name == workload;
+        if (!known) {
+            std::fprintf(stderr,
+                         "%s: unknown workload '%s' (run `tracegen "
+                         "--list` for the catalog)\n",
+                         argv[0], workload.c_str());
+            return 2;
+        }
+    }
+
     const Trace trace = tape.empty()
                             ? findWorkload(workload).makeTrace(length)
                             : readTrace(tape);
@@ -295,6 +356,37 @@ main(int argc, char **argv)
     engine_options.use_cache = !no_cache;
     SweepEngine engine(engine_options);
 
+    if (verbose) {
+        if (no_cache) {
+            std::fprintf(stderr, "result cache: disabled (--no-cache)\n");
+        } else {
+            const char *source = nullptr;
+            const std::string dir =
+                ResultCache::resolveDefaultDir(&source);
+            if (dir.empty())
+                std::fprintf(stderr,
+                             "result cache: disabled "
+                             "(PIPEDEPTH_CACHE_DIR is empty)\n");
+            else
+                std::fprintf(stderr, "result cache: %s (from %s)\n",
+                             dir.c_str(), source);
+        }
+    }
+
+    auto emitPerf = [&]() {
+        if (perf_json.empty())
+            return;
+        if (perf_json == "-") {
+            writePerfJson(engine.counters(), stdout);
+            return;
+        }
+        std::FILE *f = std::fopen(perf_json.c_str(), "w");
+        if (!f)
+            PP_FATAL("cannot write perf JSON to '", perf_json, "'");
+        writePerfJson(engine.counters(), f);
+        std::fclose(f);
+    };
+
     if (!sweep) {
         const SimResult run =
             engine.runConfigs(trace, {configure(depth)}).front();
@@ -308,6 +400,7 @@ main(int argc, char **argv)
             }
         }
         engine.printSummary(std::cerr);
+        emitPerf();
         return 0;
     }
 
@@ -365,5 +458,6 @@ main(int argc, char **argv)
         printStallSweep(runs, csv);
     }
     engine.printSummary(std::cerr);
+    emitPerf();
     return 0;
 }

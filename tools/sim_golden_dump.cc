@@ -1,0 +1,131 @@
+/**
+ * @file
+ * sim_golden_dump — print the content hash of every catalog cell's
+ * canonical serialized SimResult.
+ *
+ * Usage:
+ *   sim_golden_dump [--depths 2,7,14,25] [--length N] [--warmup N]
+ *                   [--workload NAME]
+ *
+ * One line per (workload, depth) cell:
+ *
+ *   <workload> <depth> <fnv1a-hex-of-serializeSimResult-bytes>
+ *
+ * The serialized cache payload is the canonical byte form of a
+ * simulation result, so these hashes pin simulator behaviour bit for
+ * bit. Two uses:
+ *
+ *  - regenerating the golden table consumed by
+ *    tests/sweep/test_engine_determinism.cc after an *intentional*
+ *    semantics change (see docs/PERFORMANCE.md);
+ *  - auditing that a performance-only change left every result
+ *    byte-identical: dump before, dump after, diff.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sweep/result_cache.hh"
+#include "sweep/sweep_engine.hh"
+#include "uarch/simulator.hh"
+#include "workloads/catalog.hh"
+
+using namespace pipedepth;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--depths LIST] [--length N] [--warmup N]\n"
+                 "          [--workload NAME]\n"
+                 "  LIST is comma-separated depths or LO..HI ranges\n",
+                 argv0);
+    return 2;
+}
+
+std::uint64_t
+fnv1a(const std::vector<std::uint8_t> &bytes)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::uint8_t b : bytes)
+        h = (h ^ b) * 1099511628211ull;
+    return h;
+}
+
+bool
+parseDepths(const std::string &list, std::vector<int> *out)
+{
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+        char *end = nullptr;
+        const long lo = std::strtol(list.c_str() + pos, &end, 10);
+        std::size_t next = static_cast<std::size_t>(end - list.c_str());
+        long hi = lo;
+        if (list.compare(next, 2, "..") == 0) {
+            hi = std::strtol(list.c_str() + next + 2, &end, 10);
+            next = static_cast<std::size_t>(end - list.c_str());
+        }
+        if (end == list.c_str() + pos || lo < 2 || hi < lo)
+            return false;
+        for (long p = lo; p <= hi; ++p)
+            out->push_back(static_cast<int>(p));
+        if (next < list.size() && list[next] == ',')
+            ++next;
+        pos = next;
+    }
+    return !out->empty();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<int> depths;
+    std::size_t length = 30000;
+    std::size_t warmup = 10000;
+    std::string only;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--depths" && i + 1 < argc) {
+            if (!parseDepths(argv[++i], &depths))
+                return usage(argv[0]);
+        } else if (arg == "--length" && i + 1 < argc) {
+            length = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--warmup" && i + 1 < argc) {
+            warmup = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--workload" && i + 1 < argc) {
+            only = argv[++i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (depths.empty())
+        depths = {2, 7, 14, 25};
+
+    SweepOptions opt;
+    opt.trace_length = length;
+    opt.warmup_instructions = warmup;
+
+    for (const WorkloadSpec &spec : workloadCatalog()) {
+        if (!only.empty() && spec.name != only)
+            continue;
+        const Trace trace = spec.makeTrace(length);
+        for (int p : depths) {
+            const SimResult r = simulate(trace, opt.configAtDepth(p));
+            std::printf("%s %d %016llx\n", spec.name.c_str(), p,
+                        static_cast<unsigned long long>(
+                            fnv1a(serializeSimResult(r))));
+        }
+    }
+    return 0;
+}
