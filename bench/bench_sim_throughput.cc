@@ -6,6 +6,14 @@
  * Usage:
  *   bench_sim_throughput [--output FILE] [--workloads N] [--reps N]
  *                        [--trace-length N] [--verbose]
+ *                        [--baseline FILE]
+ *
+ * The output is stamped with a schema_version and the git revision of
+ * the build. --baseline FILE checks a committed baseline (normally
+ * BENCH_sim_throughput.json) against the current schema before
+ * measuring anything, and fails fast (exit 1) when the baseline
+ * predates it — the signal that the baseline must be regenerated, not
+ * compared against.
  *
  * The bench times the replay pipeline phase by phase on a sample of
  * catalog workloads across the golden depths {2, 7, 14, 25}:
@@ -32,11 +40,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "sweep/sweep_engine.hh"
+#include "telemetry/build_info.hh"
 #include "trace/replay_buffer.hh"
 #include "uarch/replay_annotations.hh"
 #include "uarch/simulator.hh"
@@ -48,6 +60,48 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
+
+/**
+ * Version of this bench's output schema; mirrored into the JSON as
+ * "schema_version". Bump when a field is removed, renamed or
+ * re-typed, so stale committed baselines are rejected instead of
+ * silently compared.
+ */
+constexpr int kBenchSchemaVersion = 2;
+
+/** Exit 1 unless @p path is a baseline of the current schema. */
+void
+checkBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "baseline '%s' is unreadable\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    JsonValue doc;
+    std::string error;
+    if (!JsonValue::parse(text.str(), &doc, &error)) {
+        std::fprintf(stderr, "baseline '%s' is not valid JSON: %s\n",
+                     path.c_str(), error.c_str());
+        std::exit(1);
+    }
+    const JsonValue *version = doc.find("schema_version");
+    const int found =
+        version && version->isNumber() ? static_cast<int>(version->number)
+                                       : 0;
+    if (found != kBenchSchemaVersion) {
+        std::fprintf(stderr,
+                     "baseline '%s' has schema_version %d, current is "
+                     "%d: regenerate it (see docs/PERFORMANCE.md) "
+                     "before comparing\n",
+                     path.c_str(), found, kBenchSchemaVersion);
+        std::exit(1);
+    }
+}
 
 double
 secondsSince(Clock::time_point t0)
@@ -119,6 +173,7 @@ int
 main(int argc, char **argv)
 {
     std::string output;
+    std::string baseline;
     std::size_t n_workloads = 12;
     std::size_t trace_length = 30000;
     int reps = 3;
@@ -128,6 +183,8 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--output" && i + 1 < argc) {
             output = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline = argv[++i];
         } else if (arg == "--workloads" && i + 1 < argc) {
             n_workloads = static_cast<std::size_t>(
                 std::strtoull(argv[++i], nullptr, 10));
@@ -141,13 +198,16 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--output FILE] [--workloads N] "
-                         "[--reps N] [--trace-length N] [--verbose]\n",
+                         "[--reps N] [--trace-length N] [--verbose] "
+                         "[--baseline FILE]\n",
                          argv[0]);
             return 2;
         }
     }
     if (reps < 1)
         reps = 1;
+    if (!baseline.empty())
+        checkBaseline(baseline);
 
     // Spread the sample across the catalog so every workload class
     // (legacy, online, spec-int-like, fp, ...) is represented.
@@ -231,6 +291,8 @@ main(int argc, char **argv)
         json += buf;
     };
     add("{\n");
+    add("  \"schema_version\": %d,\n", kBenchSchemaVersion);
+    add("  \"git\": %s,\n", jsonQuote(gitDescribe()).c_str());
     add("  \"methodology\": \"docs/PERFORMANCE.md\",\n");
     add("  \"workloads\": %zu,\n", sample.size());
     add("  \"depths\": [2, 7, 14, 25],\n");

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace pipedepth
 {
@@ -10,6 +11,10 @@ namespace pipedepth
 MachineParams
 extractMachineParams(const SimResult &sim)
 {
+    TELEM_SPAN(span, "calib.extract.fit");
+    span.tag("workload", sim.workload);
+    span.tag("depth", sim.config.depth);
+
     PP_ASSERT(sim.instructions > 0 && sim.cycles > 0,
               "empty simulation result");
 

@@ -1,0 +1,395 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pipedepth
+{
+
+namespace
+{
+
+/** Recursive-descent parser over a character range. */
+class Parser
+{
+  public:
+    Parser(const char *begin, const char *end) : p_(begin), end_(end) {}
+
+    bool
+    parseDocument(JsonValue *out, std::string *error)
+    {
+        skipWs();
+        if (!parseValue(out, 0)) {
+            fail("malformed JSON value");
+        } else {
+            skipWs();
+            if (p_ != end_)
+                fail("trailing characters after JSON document");
+        }
+        if (!error_.empty()) {
+            if (error)
+                *error = error_;
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    void
+    fail(const char *why)
+    {
+        if (error_.empty())
+            error_ = why;
+    }
+
+    void
+    skipWs()
+    {
+        while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                              *p_ == '\r')) {
+            ++p_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (static_cast<std::size_t>(end_ - p_) < n ||
+            std::memcmp(p_, word, n) != 0) {
+            return false;
+        }
+        p_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out, int depth)
+    {
+        if (depth > kMaxDepth) {
+            fail("JSON nesting too deep");
+            return false;
+        }
+        if (p_ == end_)
+            return false;
+        switch (*p_) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out->kind = JsonValue::Kind::String;
+            return parseString(&out->string);
+          case 't':
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = true;
+            return literal("true");
+          case 'f':
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = false;
+            return literal("false");
+          case 'n':
+            out->kind = JsonValue::Kind::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue *out, int depth)
+    {
+        out->kind = JsonValue::Kind::Object;
+        ++p_; // '{'
+        skipWs();
+        if (p_ != end_ && *p_ == '}') {
+            ++p_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (p_ == end_ || *p_ != '"' || !parseString(&key))
+                return false;
+            skipWs();
+            if (p_ == end_ || *p_ != ':')
+                return false;
+            ++p_;
+            skipWs();
+            JsonValue value;
+            if (!parseValue(&value, depth + 1))
+                return false;
+            out->object.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (p_ == end_)
+                return false;
+            if (*p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (*p_ == '}') {
+                ++p_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseArray(JsonValue *out, int depth)
+    {
+        out->kind = JsonValue::Kind::Array;
+        ++p_; // '['
+        skipWs();
+        if (p_ != end_ && *p_ == ']') {
+            ++p_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue value;
+            if (!parseValue(&value, depth + 1))
+                return false;
+            out->array.push_back(std::move(value));
+            skipWs();
+            if (p_ == end_)
+                return false;
+            if (*p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (*p_ == ']') {
+                ++p_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    static void
+    appendUtf8(std::string *s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s->push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            s->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            s->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    bool
+    parseHex4(unsigned *out)
+    {
+        if (end_ - p_ < 4)
+            return false;
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = *p_++;
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return false;
+        }
+        *out = v;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        ++p_; // '"'
+        out->clear();
+        while (p_ != end_) {
+            const char c = *p_++;
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (p_ == end_)
+                return false;
+            const char esc = *p_++;
+            switch (esc) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              case 'u': {
+                unsigned cp = 0;
+                if (!parseHex4(&cp))
+                    return false;
+                // Surrogate pairs would need a second \u escape;
+                // nothing we emit leaves the BMP, so a lone
+                // surrogate is replaced rather than rejected.
+                if (cp >= 0xD800 && cp <= 0xDFFF)
+                    cp = 0xFFFD;
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        const char *start = p_;
+        if (p_ != end_ && *p_ == '-')
+            ++p_;
+        while (p_ != end_ &&
+               ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' || *p_ == 'e' ||
+                *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+            ++p_;
+        }
+        if (p_ == start)
+            return false;
+        // strtod needs a terminated buffer; numbers are short.
+        char buf[64];
+        const std::size_t n = static_cast<std::size_t>(p_ - start);
+        if (n >= sizeof(buf))
+            return false;
+        std::memcpy(buf, start, n);
+        buf[n] = '\0';
+        char *parse_end = nullptr;
+        out->number = std::strtod(buf, &parse_end);
+        if (parse_end != buf + n)
+            return false;
+        out->kind = JsonValue::Kind::Number;
+        return true;
+    }
+
+    const char *p_;
+    const char *end_;
+    std::string error_;
+};
+
+} // namespace
+
+bool
+JsonValue::parse(const std::string &text, JsonValue *out, std::string *error)
+{
+    JsonValue parsed;
+    Parser parser(text.data(), text.data() + text.size());
+    if (!parser.parseDocument(&parsed, error))
+        return false;
+    *out = std::move(parsed);
+    return true;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no Inf/NaN; absent beats invalid
+    char buf[40];
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+}
+
+std::string
+JsonValue::dump() const
+{
+    switch (kind) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return boolean ? "true" : "false";
+      case Kind::Number:
+        return jsonNumber(number);
+      case Kind::String:
+        return jsonQuote(string);
+      case Kind::Array: {
+        std::string out = "[";
+        for (std::size_t i = 0; i < array.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            out += array[i].dump();
+        }
+        out.push_back(']');
+        return out;
+      }
+      case Kind::Object: {
+        std::string out = "{";
+        for (std::size_t i = 0; i < object.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            out += jsonQuote(object[i].first);
+            out.push_back(':');
+            out += object[i].second.dump();
+        }
+        out.push_back('}');
+        return out;
+      }
+    }
+    return "null";
+}
+
+} // namespace pipedepth

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal JSON reading and writing.
+ *
+ * The telemetry layer (src/telemetry/) emits Chrome trace files, run
+ * manifests and JSONL event streams, and its tests read them back for
+ * field-by-field comparison; the throughput bench validates the
+ * schema of its committed baseline. None of that needs a full JSON
+ * library — just a faithful reader for well-formed documents and an
+ * escaper for the writers — and the container deliberately carries no
+ * third-party JSON dependency.
+ *
+ * JsonValue::parse accepts standard JSON (RFC 8259): objects, arrays,
+ * strings with escapes (\uXXXX decoded to UTF-8 for the BMP), numbers
+ * as double, true/false/null. Object member order is preserved so
+ * round-tripped documents compare deterministically.
+ */
+
+#ifndef PIPEDEPTH_COMMON_JSON_HH
+#define PIPEDEPTH_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pipedepth
+{
+
+/** Parsed JSON document node. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object; //!< in order
+
+    /**
+     * Parse @p text into @p out.
+     * @return false (with a human-readable reason in @p error, when
+     *         non-null) on malformed input or trailing garbage.
+     */
+    static bool parse(const std::string &text, JsonValue *out,
+                      std::string *error = nullptr);
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isBool() const { return kind == Kind::Bool; }
+
+    /** Member lookup on an object; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Re-serialize (compact, members in stored order). */
+    std::string dump() const;
+};
+
+/** @p s as a double-quoted JSON string token with all escapes applied. */
+std::string jsonQuote(const std::string &s);
+
+/**
+ * Render a double the way the telemetry writers do: integers without
+ * a fraction, everything else with enough digits to round-trip.
+ */
+std::string jsonNumber(double v);
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_COMMON_JSON_HH

@@ -1,39 +1,151 @@
 #include "common/logging.hh"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace pipedepth
 {
+
+namespace
+{
+
+// -1 means "not yet initialized from PIPEDEPTH_LOG". Function-local
+// statics would be tidier, but the sink mutex must survive until the
+// last message of the process, so both live at namespace scope with
+// constant initialization.
+std::atomic<int> g_level{-1};
+std::mutex g_sink_mutex;
+
+// Assemble the whole line first, then write it with a single
+// fwrite under the sink mutex: messages from concurrent sweep
+// workers come out whole, never interleaved mid-line.
+void
+writeLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
+
+bool
+parseLogLevel(const std::string &text, LogLevel &out)
+{
+    std::string lower;
+    lower.reserve(text.size());
+    for (char c : text)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "debug")
+        out = LogLevel::Debug;
+    else if (lower == "info")
+        out = LogLevel::Info;
+    else if (lower == "warn" || lower == "warning")
+        out = LogLevel::Warn;
+    else if (lower == "error")
+        out = LogLevel::Error;
+    else
+        return false;
+    return true;
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+    }
+    return "info";
+}
+
+LogLevel
+logLevel()
+{
+    const int v = g_level.load(std::memory_order_acquire);
+    if (v >= 0)
+        return static_cast<LogLevel>(v);
+    return reloadLogLevelFromEnv();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(static_cast<int>(level), std::memory_order_release);
+}
+
+LogLevel
+reloadLogLevelFromEnv()
+{
+    LogLevel level = LogLevel::Info;
+    const char *env = std::getenv("PIPEDEPTH_LOG");
+    if (env && env[0] != '\0' && !parseLogLevel(env, level)) {
+        // Set the level *before* warning so the warning itself is not
+        // filtered by an uninitialized threshold.
+        setLogLevel(level);
+        static std::once_flag warned;
+        std::call_once(warned, [env] {
+            writeLine("warn: ",
+                      std::string("unrecognized PIPEDEPTH_LOG value '") +
+                          env + "' (expected debug/info/warn/error); "
+                          "using info");
+        });
+        return level;
+    }
+    setLogLevel(level);
+    return level;
+}
+
 namespace logging_detail
 {
 
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    writeLine("panic: ",
+              msg + " (" + file + ":" + std::to_string(line) + ")");
     std::abort();
 }
 
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    writeLine("fatal: ",
+              msg + " (" + file + ":" + std::to_string(line) + ")");
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    writeLine("warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    writeLine("info: ", msg);
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    writeLine("debug: ", msg);
 }
 
 } // namespace logging_detail

@@ -5,6 +5,14 @@
  * Follows the gem5 convention: panic() is for internal invariant
  * violations (a library bug), fatal() is for user errors (bad
  * configuration, bad input files), and warn()/inform() are advisory.
+ * PP_DEBUG is for developer-facing chatter, hidden by default.
+ *
+ * Messages below the active level (see LogLevel) are filtered at the
+ * call site, before their arguments are formatted. The level defaults
+ * to Info and can be overridden with the PIPEDEPTH_LOG environment
+ * variable ("debug", "info", "warn" or "error"); panic/fatal always
+ * print. All messages flow through one mutex-guarded sink that writes
+ * whole lines, so concurrent sweep workers never interleave mid-line.
  */
 
 #ifndef PIPEDEPTH_COMMON_LOGGING_HH
@@ -15,6 +23,53 @@
 
 namespace pipedepth
 {
+
+/**
+ * Message severities, ordered: a message prints when its level is at
+ * or above the active threshold. Error is the level of panic/fatal,
+ * which are never filtered.
+ */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+/**
+ * Parse a level name ("debug", "info", "warn"/"warning", "error",
+ * case-insensitive) into @p out. Returns false — leaving @p out
+ * untouched — for anything else.
+ */
+bool parseLogLevel(const std::string &text, LogLevel &out);
+
+/** Name of @p level as parseLogLevel accepts it. */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Active threshold. The first call (per process, unless setLogLevel
+ * or reloadLogLevelFromEnv intervenes) reads PIPEDEPTH_LOG.
+ */
+LogLevel logLevel();
+
+/** Set the threshold, overriding the environment. */
+void setLogLevel(LogLevel level);
+
+/**
+ * Re-read PIPEDEPTH_LOG and return the resulting threshold: the
+ * parsed value, or Info when the variable is unset; an unparseable
+ * value keeps Info and warns once. Exposed so tests (and tools that
+ * mutate their own environment) can re-apply the override.
+ */
+LogLevel reloadLogLevelFromEnv();
+
+/** Would a message at @p level print? */
+inline bool
+logLevelEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >= static_cast<int>(logLevel());
+}
 
 /** Internal detail: assemble a message from stream-style arguments. */
 namespace logging_detail
@@ -42,6 +97,9 @@ void warnImpl(const std::string &msg);
 
 /** Print an informational message to stderr. */
 void informImpl(const std::string &msg);
+
+/** Print a debug message to stderr. */
+void debugImpl(const std::string &msg);
 
 } // namespace logging_detail
 
@@ -73,13 +131,33 @@ void informImpl(const std::string &msg);
 
 /** Emit a non-fatal warning. */
 #define PP_WARN(...)                                                        \
-    ::pipedepth::logging_detail::warnImpl(                                  \
-        ::pipedepth::logging_detail::concat(__VA_ARGS__))
+    do {                                                                    \
+        if (::pipedepth::logLevelEnabled(::pipedepth::LogLevel::Warn)) {    \
+            ::pipedepth::logging_detail::warnImpl(                          \
+                ::pipedepth::logging_detail::concat(__VA_ARGS__));          \
+        }                                                                   \
+    } while (0)
 
 /** Emit a status message. */
 #define PP_INFORM(...)                                                      \
-    ::pipedepth::logging_detail::informImpl(                                \
-        ::pipedepth::logging_detail::concat(__VA_ARGS__))
+    do {                                                                    \
+        if (::pipedepth::logLevelEnabled(::pipedepth::LogLevel::Info)) {    \
+            ::pipedepth::logging_detail::informImpl(                        \
+                ::pipedepth::logging_detail::concat(__VA_ARGS__));          \
+        }                                                                   \
+    } while (0)
+
+/**
+ * Emit a developer debug message; hidden unless the level is Debug
+ * (PIPEDEPTH_LOG=debug). Arguments are not formatted when filtered.
+ */
+#define PP_DEBUG(...)                                                       \
+    do {                                                                    \
+        if (::pipedepth::logLevelEnabled(::pipedepth::LogLevel::Debug)) {   \
+            ::pipedepth::logging_detail::debugImpl(                         \
+                ::pipedepth::logging_detail::concat(__VA_ARGS__));          \
+        }                                                                   \
+    } while (0)
 
 } // namespace pipedepth
 

@@ -27,10 +27,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "telemetry/metrics.hh"
 
 namespace pipedepth
 {
@@ -115,26 +118,51 @@ parallelMap(const std::vector<T> &items, Fn fn, unsigned threads = 0,
         }
     };
 
+    // Scheduling observability (docs/OBSERVABILITY.md): how many
+    // workers ran, how many chunk grabs the cursor served, and the
+    // distribution of per-worker busy time — a wide busy_us spread on
+    // a grid run means the chunk size is leaving cores idle at the
+    // tail. Registered once per process; updated per chunk, not per
+    // item, so the cost stays amortized.
+    static Counter &spawn_counter =
+        MetricsRegistry::instance().counter("parallel.worker.spawn");
+    static Counter &claim_counter =
+        MetricsRegistry::instance().counter("parallel.chunk.claim");
+    static Histogram &busy_histogram =
+        MetricsRegistry::instance().histogram("parallel.worker.busy_us");
+
     if (threads == 1) {
+        const auto start = std::chrono::steady_clock::now();
         runRange(0, items.size());
+        busy_histogram.recordSeconds(
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count());
     } else {
         std::atomic<std::size_t> next{0};
         auto worker = [&]() {
+            const auto start = std::chrono::steady_clock::now();
             for (;;) {
                 const std::size_t begin =
                     next.fetch_add(chunk, std::memory_order_relaxed);
                 if (begin >= items.size() ||
                     failed.load(std::memory_order_acquire)) {
-                    return;
+                    break;
                 }
+                claim_counter.add();
                 runRange(begin, std::min(items.size(), begin + chunk));
             }
+            busy_histogram.recordSeconds(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
         };
 
         std::vector<std::thread> pool;
         pool.reserve(threads);
         for (unsigned t = 0; t < threads; ++t)
             pool.emplace_back(worker);
+        spawn_counter.add(threads);
         for (auto &th : pool)
             th.join();
     }

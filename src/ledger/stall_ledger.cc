@@ -1,6 +1,7 @@
 #include "ledger/stall_ledger.hh"
 
 #include "common/logging.hh"
+#include "telemetry/metrics.hh"
 
 namespace pipedepth
 {
@@ -90,6 +91,14 @@ StallLedger::finalize(std::uint64_t total_cycles)
     finalized_ = true;
     residual_ = static_cast<std::int64_t>(total_cycles) -
                 static_cast<std::int64_t>(total());
+
+    static Counter &finalize_counter =
+        MetricsRegistry::instance().counter("ledger.run.finalize");
+    static Counter &residual_counter =
+        MetricsRegistry::instance().counter("ledger.residual.nonzero");
+    finalize_counter.add();
+    if (residual_ != 0)
+        residual_counter.add();
 }
 
 std::uint64_t

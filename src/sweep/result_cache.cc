@@ -6,10 +6,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/telemetry.hh"
 
 namespace pipedepth
 {
@@ -296,32 +299,74 @@ ResultCache::entryPath(const CacheKey &key) const
 std::optional<SimResult>
 ResultCache::load(const CacheKey &key, bool *corrupt) const
 {
+    static Counter &probes =
+        MetricsRegistry::instance().counter("cache.probe.total");
+    static Counter &hits =
+        MetricsRegistry::instance().counter("cache.probe.hit");
+    static Counter &misses =
+        MetricsRegistry::instance().counter("cache.probe.miss");
+    static Counter &corruptions =
+        MetricsRegistry::instance().counter("cache.probe.corrupt");
+    static Counter &evictions =
+        MetricsRegistry::instance().counter("cache.entry.evict");
+
     if (corrupt)
         *corrupt = false;
     if (!enabled())
         return std::nullopt;
 
-    std::ifstream in(entryPath(key), std::ios::binary);
-    if (!in)
+    TELEM_SPAN(span, "cache.probe");
+    probes.add();
+    const std::string path = entryPath(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        misses.add();
+        span.tag("result", "miss");
         return std::nullopt;
+    }
     std::vector<std::uint8_t> bytes(
         (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
 
     SimResult out;
     if (!deserializeSimResult(bytes, &out)) {
+        corruptions.add();
+        span.tag("result", "corrupt");
+        // A corrupt entry used to be discarded silently; say where it
+        // was once per process (further ones only count — a damaged
+        // cache directory would otherwise spam one warning per cell).
+        static std::once_flag warned;
+        std::call_once(warned, [&]() {
+            PP_WARN("result cache: corrupt entry '", path,
+                    "' (recomputing and evicting; further corrupt "
+                    "entries are counted under cache.probe.corrupt "
+                    "without a warning)");
+        });
+        // Evict so the next run's probe is a clean miss rather than
+        // another deserialization failure of the same bytes.
+        std::error_code ec;
+        if (std::filesystem::remove(path, ec) && !ec)
+            evictions.add();
         if (corrupt)
             *corrupt = true;
         return std::nullopt;
     }
+    hits.add();
+    span.tag("result", "hit");
     return out;
 }
 
 bool
 ResultCache::store(const CacheKey &key, const SimResult &result) const
 {
+    static Counter &stores =
+        MetricsRegistry::instance().counter("cache.entry.store");
+    static Counter &failures =
+        MetricsRegistry::instance().counter("cache.entry.store_fail");
+
     if (!enabled())
         return false;
 
+    TELEM_SPAN(span, "cache.store");
     // Unique temp name per process and store call so concurrent
     // writers never collide; rename within one directory is atomic.
     static std::atomic<std::uint64_t> counter{0};
@@ -333,20 +378,26 @@ ResultCache::store(const CacheKey &key, const SimResult &result) const
     const std::vector<std::uint8_t> bytes = serializeSimResult(result);
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
+        if (!out) {
+            failures.add();
             return false;
+        }
         out.write(reinterpret_cast<const char *>(bytes.data()),
                   static_cast<std::streamsize>(bytes.size()));
-        if (!out)
+        if (!out) {
+            failures.add();
             return false;
+        }
     }
 
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
         std::filesystem::remove(tmp, ec);
+        failures.add();
         return false;
     }
+    stores.add();
     return true;
 }
 

@@ -13,6 +13,9 @@
 #include "common/parallel.hh"
 #include "common/table.hh"
 #include "sweep/cache_key.hh"
+#include "telemetry/manifest.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/telemetry.hh"
 #include "uarch/simulator.hh"
 
 namespace pipedepth
@@ -71,9 +74,41 @@ struct CellTallies
     void
     recordCellSeconds(double seconds)
     {
+        static Histogram &walltime = MetricsRegistry::instance().histogram(
+            "sweep.cell.walltime_us");
+        walltime.recordSeconds(seconds);
         const std::lock_guard<std::mutex> lock(cell_seconds_mutex);
         cell_seconds.push_back(seconds);
     }
+};
+
+/**
+ * Reporter of cell outcomes to the engine's attached manifest (null
+ * manifest = no-op). Shared by runGrid and runConfigs workers.
+ */
+class CellReporter
+{
+  public:
+    explicit CellReporter(RunManifest *manifest) : manifest_(manifest) {}
+
+    void
+    operator()(const std::string &workload, int depth,
+               ManifestCell::Outcome outcome, double seconds,
+               std::uint64_t instructions) const
+    {
+        if (!manifest_)
+            return;
+        ManifestCell cell;
+        cell.workload = workload;
+        cell.depth = depth;
+        cell.outcome = outcome;
+        cell.seconds = seconds;
+        cell.instructions = instructions;
+        manifest_->recordCell(cell);
+    }
+
+  private:
+    RunManifest *manifest_;
 };
 
 class WallTimer
@@ -110,6 +145,22 @@ foldTallies(SweepCounters &c, CellTallies &t, std::uint64_t total)
     c.cell_seconds.insert(c.cell_seconds.end(),
                           t.cell_seconds.begin(),
                           t.cell_seconds.end());
+
+    // Mirror into the process-wide registry: SweepCounters stays the
+    // per-engine view, the registry the cross-engine one that run
+    // manifests snapshot.
+    auto &registry = MetricsRegistry::instance();
+    static Counter &cells = registry.counter("sweep.cell.schedule");
+    static Counter &computed = registry.counter("sweep.cell.compute");
+    static Counter &cached = registry.counter("sweep.cell.cached");
+    static Counter &traces = registry.counter("sweep.trace.generate");
+    static Counter &instructions =
+        registry.counter("sweep.instructions.simulate");
+    cells.add(total);
+    computed.add(t.computed.load());
+    cached.add(t.hits.load());
+    traces.add(t.traces.load());
+    instructions.add(t.instructions.load());
 }
 
 } // namespace
@@ -138,6 +189,11 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
     const WallTimer timer(&counters_.wall_seconds);
     const std::size_t n_depths = static_cast<std::size_t>(
         options.max_depth - options.min_depth + 1);
+
+    TELEM_SPAN(grid_span, "sweep.grid");
+    grid_span.tag("workloads", static_cast<std::uint64_t>(specs.size()));
+    grid_span.tag("depths", static_cast<std::uint64_t>(n_depths));
+    const CellReporter reportCell(manifest_);
 
     // One lazily prepared replay buffer + annotation set per
     // workload: cells share them, and a fully cached workload never
@@ -174,14 +230,22 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
         const WorkloadSpec &spec = specs[cell.spec];
         const PipelineConfig config = options.configAtDepth(cell.depth);
 
+        TELEM_SPAN(span, "sweep.cell");
+        span.tag("workload", spec.name);
+        span.tag("depth", cell.depth);
+
         CacheKey key;
         if (cache_.enabled()) {
             key = simCellKey(spec, options.trace_length, config);
             bool corrupt = false;
             if (auto hit = cache_.load(key, &corrupt)) {
                 tallies.hits.fetch_add(1);
+                span.tag("outcome", "cached");
                 hit->workload = spec.name;
                 hit->config = config;
+                reportCell(spec.name, cell.depth,
+                           ManifestCell::Outcome::Cached, 0.0,
+                           hit->instructions);
                 return std::move(*hit);
             }
             if (corrupt)
@@ -190,26 +254,45 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
 
         SpecReplay &sr = *replays[cell.spec];
         std::call_once(sr.once, [&]() {
+            TELEM_SPAN(prepare_span, "sweep.trace.prepare");
+            prepare_span.tag("workload", spec.name);
             sr.replay = prepareReplay(spec.makeTrace(options.trace_length));
             sr.annotations = annotateReplay(sr.replay, config);
             tallies.traces.fetch_add(1);
         });
 
         const auto cell_start = std::chrono::steady_clock::now();
+        auto secondsSinceStart = [&cell_start]() {
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - cell_start)
+                .count();
+        };
         // The annotations were built under one cell's config; every
         // grid cell shares the microarchitectural key (only depth
         // varies), so this hits the fast path. The fallback keeps
         // exotic option sets correct rather than fast.
-        SimResult result =
-            sr.annotations.matches(config, sr.replay.size())
-                ? simulate(sr.replay, sr.annotations, config)
-                : simulate(sr.replay, config);
-        tallies.recordCellSeconds(
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - cell_start)
-                .count());
+        SimResult result;
+        try {
+            result = sr.annotations.matches(config, sr.replay.size())
+                         ? simulate(sr.replay, sr.annotations, config)
+                         : simulate(sr.replay, config);
+        } catch (...) {
+            static Counter &failures = MetricsRegistry::instance().counter(
+                "sweep.cell.fail");
+            failures.add();
+            span.tag("outcome", "failed");
+            reportCell(spec.name, cell.depth,
+                       ManifestCell::Outcome::Failed, secondsSinceStart(),
+                       0);
+            throw;
+        }
+        const double cell_seconds = secondsSinceStart();
+        span.tag("outcome", "computed");
+        tallies.recordCellSeconds(cell_seconds);
         tallies.computed.fetch_add(1);
         tallies.instructions.fetch_add(result.instructions);
+        reportCell(spec.name, cell.depth, ManifestCell::Outcome::Computed,
+                   cell_seconds, result.instructions);
         if (cache_.enabled() && cache_.store(key, result))
             tallies.stores.fetch_add(1);
         return result;
@@ -219,6 +302,7 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
         parallelMap(cells, runCell, options_.threads, options_.chunk);
     foldTallies(counters_, tallies, cells.size());
 
+    TELEM_SPAN(assemble_span, "sweep.assemble");
     std::vector<SweepResult> out;
     out.reserve(specs.size());
     for (std::size_t s = 0; s < specs.size(); ++s) {
@@ -255,6 +339,11 @@ SweepEngine::runConfigs(const Trace &trace,
 {
     const WallTimer timer(&counters_.wall_seconds);
 
+    TELEM_SPAN(grid_span, "sweep.configs");
+    grid_span.tag("workload", trace.name);
+    grid_span.tag("configs", static_cast<std::uint64_t>(configs.size()));
+    const CellReporter reportCell(manifest_);
+
     // Prepared on first cache miss, shared by every config after.
     std::once_flag replay_once;
     ReplayBuffer replay;
@@ -262,37 +351,66 @@ SweepEngine::runConfigs(const Trace &trace,
 
     CellTallies tallies;
     auto runCell = [&](const PipelineConfig &config) -> SimResult {
+        TELEM_SPAN(span, "sweep.cell");
+        span.tag("workload", trace.name);
+        span.tag("depth", config.depth);
+
         CacheKey key;
         if (cache_.enabled()) {
             key = traceCellKey(trace, config);
             bool corrupt = false;
             if (auto hit = cache_.load(key, &corrupt)) {
                 tallies.hits.fetch_add(1);
+                span.tag("outcome", "cached");
                 hit->workload = trace.name;
                 hit->config = config;
+                reportCell(trace.name, config.depth,
+                           ManifestCell::Outcome::Cached, 0.0,
+                           hit->instructions);
                 return std::move(*hit);
             }
             if (corrupt)
                 tallies.errors.fetch_add(1);
         }
         std::call_once(replay_once, [&]() {
+            TELEM_SPAN(prepare_span, "sweep.trace.prepare");
+            prepare_span.tag("workload", trace.name);
             replay = prepareReplay(trace);
             annotations = annotateReplay(replay, config);
         });
 
         const auto cell_start = std::chrono::steady_clock::now();
+        auto secondsSinceStart = [&cell_start]() {
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - cell_start)
+                .count();
+        };
         // Configs here may differ in more than depth; the annotated
         // fast path only applies when the microarchitectural key of
         // this config matches the one the annotations were built for.
-        SimResult result = annotations.matches(config, replay.size())
-                               ? simulate(replay, annotations, config)
-                               : simulate(replay, config);
-        tallies.recordCellSeconds(
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - cell_start)
-                .count());
+        SimResult result;
+        try {
+            result = annotations.matches(config, replay.size())
+                         ? simulate(replay, annotations, config)
+                         : simulate(replay, config);
+        } catch (...) {
+            static Counter &failures = MetricsRegistry::instance().counter(
+                "sweep.cell.fail");
+            failures.add();
+            span.tag("outcome", "failed");
+            reportCell(trace.name, config.depth,
+                       ManifestCell::Outcome::Failed, secondsSinceStart(),
+                       0);
+            throw;
+        }
+        const double cell_seconds = secondsSinceStart();
+        span.tag("outcome", "computed");
+        tallies.recordCellSeconds(cell_seconds);
         tallies.computed.fetch_add(1);
         tallies.instructions.fetch_add(result.instructions);
+        reportCell(trace.name, config.depth,
+                   ManifestCell::Outcome::Computed, cell_seconds,
+                   result.instructions);
         if (cache_.enabled() && cache_.store(key, result))
             tallies.stores.fetch_add(1);
         return result;
@@ -340,6 +458,47 @@ SweepEngine::printSummary(std::ostream &os) const
        << (cacheEnabled() ? "cache " + cache_.dir() : "cache off")
        << "]\n";
     t.render(os);
+
+    if (cacheEnabled()) {
+        const std::uint64_t resolved = c.cache_hits + c.cells_computed;
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "cache efficiency: %llu/%llu cells served from "
+                      "cache (%.1f%%), %llu stored, %llu corrupt\n",
+                      static_cast<unsigned long long>(c.cache_hits),
+                      static_cast<unsigned long long>(resolved),
+                      100.0 * c.hitRate(),
+                      static_cast<unsigned long long>(c.cache_stores),
+                      static_cast<unsigned long long>(c.cache_errors));
+        os << line;
+    }
+
+    // Process-wide registry snapshot (docs/OBSERVABILITY.md): covers
+    // this engine plus anything else the process ran.
+    os << "metrics:";
+    bool any = false;
+    for (const MetricSnapshot &m : MetricsRegistry::instance().snapshot()) {
+        switch (m.kind) {
+          case MetricSnapshot::Kind::Counter:
+            if (m.count) {
+                os << "\n  " << m.name << " " << m.count;
+                any = true;
+            }
+            break;
+          case MetricSnapshot::Kind::Gauge:
+            os << "\n  " << m.name << " " << m.gauge << " (gauge)";
+            any = true;
+            break;
+          case MetricSnapshot::Kind::Histogram:
+            if (m.count) {
+                os << "\n  " << m.name << " count=" << m.count
+                   << " mean=" << (m.sum / m.count) << "us";
+                any = true;
+            }
+            break;
+        }
+    }
+    os << (any ? "\n" : " (none)\n");
 }
 
 } // namespace pipedepth

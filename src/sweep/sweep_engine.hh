@@ -37,6 +37,8 @@
 namespace pipedepth
 {
 
+class RunManifest;
+
 /** Engine construction knobs. */
 struct SweepEngineOptions
 {
@@ -123,6 +125,14 @@ class SweepEngine
     bool cacheEnabled() const { return cache_.enabled(); }
     const std::string &cacheDir() const { return cache_.dir(); }
 
+    /**
+     * Report every subsequent cell outcome (computed / cached /
+     * failed, with wall seconds and instructions) to @p manifest,
+     * which must outlive the engine calls it observes. Pass nullptr
+     * to detach. See telemetry/manifest.hh.
+     */
+    void attachManifest(RunManifest *manifest) { manifest_ = manifest; }
+
     /** Snapshot of the lifetime counters. */
     SweepCounters counters() const { return counters_; }
 
@@ -138,6 +148,7 @@ class SweepEngine
     SweepEngineOptions options_;
     ResultCache cache_;
     SweepCounters counters_;
+    RunManifest *manifest_ = nullptr;
 };
 
 } // namespace pipedepth

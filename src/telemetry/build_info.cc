@@ -1,0 +1,16 @@
+#include "telemetry/build_info.hh"
+
+#ifndef PIPEDEPTH_GIT_DESCRIBE
+#define PIPEDEPTH_GIT_DESCRIBE "unknown"
+#endif
+
+namespace pipedepth
+{
+
+const char *
+gitDescribe()
+{
+    return PIPEDEPTH_GIT_DESCRIBE;
+}
+
+} // namespace pipedepth

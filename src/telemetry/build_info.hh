@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Build provenance for run manifests.
+ *
+ * The git revision is captured at CMake configure time
+ * (src/telemetry/CMakeLists.txt runs `git describe --always --dirty`)
+ * and baked into the library, so every manifest records which source
+ * produced it without shelling out at runtime. A build from an
+ * exported tarball reports "unknown".
+ */
+
+#ifndef PIPEDEPTH_TELEMETRY_BUILD_INFO_HH
+#define PIPEDEPTH_TELEMETRY_BUILD_INFO_HH
+
+namespace pipedepth
+{
+
+/** `git describe --always --dirty` of the configured source tree. */
+const char *gitDescribe();
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_TELEMETRY_BUILD_INFO_HH

@@ -1,0 +1,105 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    PP_ASSERT(!gauges_.count(name) && !histograms_.count(name),
+              "metric '", name, "' already registered with another kind");
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    PP_ASSERT(!counters_.count(name) && !histograms_.count(name),
+              "metric '", name, "' already registered with another kind");
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    PP_ASSERT(!counters_.count(name) && !gauges_.count(name),
+              "metric '", name, "' already registered with another kind");
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::vector<MetricSnapshot>
+MetricsRegistry::snapshot() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricSnapshot> out;
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto &[name, c] : counters_) {
+        MetricSnapshot s;
+        s.name = name;
+        s.kind = MetricSnapshot::Kind::Counter;
+        s.count = c->value();
+        out.push_back(std::move(s));
+    }
+    for (const auto &[name, g] : gauges_) {
+        MetricSnapshot s;
+        s.name = name;
+        s.kind = MetricSnapshot::Kind::Gauge;
+        s.gauge = g->value();
+        out.push_back(std::move(s));
+    }
+    for (const auto &[name, h] : histograms_) {
+        MetricSnapshot s;
+        s.name = name;
+        s.kind = MetricSnapshot::Kind::Histogram;
+        s.count = h->count();
+        s.sum = h->sum();
+        for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+            const std::uint64_t n = h->bucketCount(i);
+            if (n)
+                s.buckets.emplace_back(Histogram::bucketLowerBound(i), n);
+        }
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSnapshot &a, const MetricSnapshot &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace pipedepth

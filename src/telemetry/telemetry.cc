@@ -1,0 +1,144 @@
+#include "telemetry/telemetry.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Fixed per-process anchor so every span shares one time base. */
+Clock::time_point
+processAnchor()
+{
+    static const Clock::time_point anchor = Clock::now();
+    return anchor;
+}
+
+} // namespace
+
+SpanTracer &
+SpanTracer::instance()
+{
+    static SpanTracer tracer;
+    return tracer;
+}
+
+std::uint64_t
+SpanTracer::nowMicros()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - processAnchor())
+            .count());
+}
+
+std::uint32_t
+SpanTracer::currentThreadId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+SpanTracer::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    spans_.clear();
+}
+
+void
+SpanTracer::record(TraceSpan span)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(std::move(span));
+}
+
+std::size_t
+SpanTracer::spanCount() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+std::map<std::string, SpanRollup>
+SpanTracer::rollups() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, SpanRollup> out;
+    for (const TraceSpan &s : spans_) {
+        SpanRollup &r = out[s.name];
+        ++r.count;
+        r.total_us += s.end_us - s.begin_us;
+    }
+    return out;
+}
+
+void
+SpanTracer::writeChromeTrace(std::ostream &os) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const long pid = static_cast<long>(::getpid());
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    for (const TraceSpan &s : spans_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\":" << jsonQuote(s.name)
+           << ",\"cat\":\"pipedepth\",\"ph\":\"X\",\"ts\":" << s.begin_us
+           << ",\"dur\":" << (s.end_us - s.begin_us) << ",\"pid\":" << pid
+           << ",\"tid\":" << s.tid;
+        if (!s.tags.empty()) {
+            os << ",\"args\":{";
+            for (std::size_t i = 0; i < s.tags.size(); ++i) {
+                const TraceSpan::Tag &t = s.tags[i];
+                if (i)
+                    os << ",";
+                os << jsonQuote(t.key) << ":"
+                   << (t.numeric ? t.value : jsonQuote(t.value));
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+bool
+SpanTracer::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        PP_WARN("cannot write trace to '", path, "'");
+        return false;
+    }
+    writeChromeTrace(out);
+    out.flush();
+    if (!out) {
+        PP_WARN("short write of trace '", path, "'");
+        return false;
+    }
+    return true;
+}
+
+std::string
+ScopedSpan::formatDouble(double v)
+{
+    return jsonNumber(v);
+}
+
+} // namespace pipedepth

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "telemetry/telemetry.hh"
 
 namespace pipedepth
 {
@@ -321,6 +322,10 @@ class DependenceTracker
 Trace
 generateTrace(const TraceGenParams &params, const std::string &name)
 {
+    TELEM_SPAN(span, "trace.generate");
+    span.tag("workload", name);
+    span.tag("length", static_cast<std::uint64_t>(params.length));
+
     params.validate();
     Rng rng(params.seed);
     StaticProgram prog = buildProgram(params, rng);

@@ -1,6 +1,7 @@
 #include "trace/replay_buffer.hh"
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace pipedepth
 {
@@ -8,6 +9,10 @@ namespace pipedepth
 ReplayBuffer
 prepareReplay(const Trace &trace)
 {
+    TELEM_SPAN(span, "trace.replay.prepare");
+    span.tag("workload", trace.name);
+    span.tag("ops", static_cast<std::uint64_t>(trace.size()));
+
     ReplayBuffer buf;
     buf.name = trace.name;
     buf.ops.resize(trace.size());

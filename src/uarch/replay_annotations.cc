@@ -6,6 +6,7 @@
 #include "branch/predictor.hh"
 #include "cache/cache.hh"
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace pipedepth
 {
@@ -98,6 +99,10 @@ microarchKeyOf(const PipelineConfig &config, std::size_t n_ops)
 ReplayAnnotations
 annotateReplay(const ReplayBuffer &replay, const PipelineConfig &config)
 {
+    TELEM_SPAN(span, "uarch.annotate");
+    span.tag("workload", replay.name);
+    span.tag("ops", static_cast<std::uint64_t>(replay.size()));
+
     ReplayAnnotations ann;
     ann.key = microarchKeyOf(config, replay.size());
     ann.flags.assign(replay.size(), 0);

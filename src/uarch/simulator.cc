@@ -7,6 +7,8 @@
 
 #include "common/logging.hh"
 #include "ledger/stall_ledger.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/telemetry.hh"
 
 namespace pipedepth
 {
@@ -565,6 +567,9 @@ simulate(const ReplayBuffer &replay, const ReplayAnnotations &annotations,
 
     res.cycles = static_cast<std::uint64_t>(last_retire + 1);
 
+    TELEM_SPAN(ledger_span, "ledger.audit");
+    ledger_span.tag("workload", replay.name);
+    ledger_span.tag("depth", config.depth);
     ledger.finalize(res.cycles);
     res.base_work_cycles = ledger.cycles(StallBucket::BaseWork);
     res.superscalar_loss_cycles =
@@ -595,6 +600,19 @@ simulate(const ReplayBuffer &replay, const ReplayAnnotations &annotations,
         res.units[u].occupancy = activity[u].occupancy;
         res.units[u].ops = activity[u].ops;
     }
+
+    // Per-*run* registry updates only (docs/OBSERVABILITY.md): a few
+    // relaxed atomics here cost nothing against the timing walk, but
+    // nothing telemetry-related may enter the per-instruction loop.
+    static Counter &run_counter =
+        MetricsRegistry::instance().counter("sim.run.complete");
+    static Counter &op_counter =
+        MetricsRegistry::instance().counter("sim.instructions.replay");
+    static Gauge &residual_gauge =
+        MetricsRegistry::instance().gauge("sim.ledger.residual");
+    run_counter.add();
+    op_counter.add(res.instructions);
+    residual_gauge.set(res.ledger_residual);
     return res;
 }
 

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the minimal JSON reader/writer the telemetry layer uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+JsonValue
+parsed(const std::string &text)
+{
+    JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse(text, &doc, &error)) << error;
+    return doc;
+}
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parsed("null").isNull());
+    EXPECT_TRUE(parsed("true").boolean);
+    EXPECT_FALSE(parsed("false").boolean);
+    EXPECT_EQ(parsed("42").number, 42.0);
+    EXPECT_EQ(parsed("-1.5e2").number, -150.0);
+    EXPECT_EQ(parsed("\"hi\"").string, "hi");
+}
+
+TEST(Json, ParsesNestedContainersPreservingOrder)
+{
+    const JsonValue doc =
+        parsed("{\"b\": [1, 2, {\"c\": null}], \"a\": false}");
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_EQ(doc.object.size(), 2u);
+    EXPECT_EQ(doc.object[0].first, "b"); // insertion order, not sorted
+    EXPECT_EQ(doc.object[1].first, "a");
+    const JsonValue *b = doc.find("b");
+    ASSERT_TRUE(b->isArray());
+    ASSERT_EQ(b->array.size(), 3u);
+    EXPECT_TRUE(b->array[2].find("c")->isNull());
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, DecodesEscapes)
+{
+    EXPECT_EQ(parsed("\"a\\n\\t\\\\\\\"b\"").string, "a\n\t\\\"b");
+    EXPECT_EQ(parsed("\"\\u0041\"").string, "A");
+    EXPECT_EQ(parsed("\"\\u00e9\"").string, "\xc3\xa9");   // é
+    EXPECT_EQ(parsed("\"\\u20ac\"").string, "\xe2\x82\xac"); // €
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse("", &doc, &error));
+    EXPECT_FALSE(JsonValue::parse("{", &doc, &error));
+    EXPECT_FALSE(JsonValue::parse("[1,]", &doc, &error));
+    EXPECT_FALSE(JsonValue::parse("{\"a\" 1}", &doc, &error));
+    EXPECT_FALSE(JsonValue::parse("tru", &doc, &error));
+    EXPECT_FALSE(JsonValue::parse("1 2", &doc, &error)); // trailing junk
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, DumpRoundTrips)
+{
+    const std::string text =
+        "{\"s\": \"a\\\"b\", \"n\": 3.5, \"l\": [true, null], "
+        "\"o\": {\"k\": 1}}";
+    const JsonValue doc = parsed(text);
+    const JsonValue again = parsed(doc.dump());
+    EXPECT_EQ(doc.dump(), again.dump());
+    EXPECT_EQ(again.find("s")->string, "a\"b");
+    EXPECT_EQ(again.find("n")->number, 3.5);
+}
+
+TEST(Json, JsonQuoteEscapesControlCharacters)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(jsonQuote("a\nb"), "\"a\\nb\"");
+    EXPECT_EQ(jsonQuote(std::string("a\x01") + "b"), "\"a\\u0001b\"");
+}
+
+TEST(Json, JsonNumberFormatsIntegersWithoutFraction)
+{
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(-7.0), "-7");
+    // Non-integers round-trip through parse.
+    const double v = 0.1234567890123;
+    EXPECT_EQ(parsed(jsonNumber(v)).number, v);
+}
+
+} // namespace
+} // namespace pipedepth

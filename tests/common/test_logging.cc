@@ -1,9 +1,17 @@
 /**
  * @file
- * Tests for the fatal/panic/assert helpers.
+ * Tests for the fatal/panic/assert helpers and the level-filtered,
+ * mutex-guarded log sink.
  */
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -11,6 +19,19 @@ namespace pipedepth
 {
 namespace
 {
+
+/** Pins the log level for a test and restores the default after. */
+class LoggingLevelTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogLevel(LogLevel::Info); }
+
+    void TearDown() override
+    {
+        unsetenv("PIPEDEPTH_LOG");
+        reloadLogLevelFromEnv();
+    }
+};
 
 TEST(LoggingDeath, PanicAborts)
 {
@@ -40,6 +61,139 @@ TEST(Logging, WarnAndInformDoNotTerminate)
     PP_WARN("just a warning ", 1);
     PP_INFORM("status ", 2);
     SUCCEED();
+}
+
+TEST(Logging, ParseLogLevelAcceptsKnownNamesCaseInsensitively)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_TRUE(parseLogLevel("debug", level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(parseLogLevel("WARN", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("Warning", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("Error", level));
+    EXPECT_EQ(level, LogLevel::Error);
+    EXPECT_TRUE(parseLogLevel("iNfO", level));
+    EXPECT_EQ(level, LogLevel::Info);
+}
+
+TEST(Logging, ParseLogLevelRejectsUnknownNamesWithoutClobbering)
+{
+    LogLevel level = LogLevel::Warn;
+    EXPECT_FALSE(parseLogLevel("verbose", level));
+    EXPECT_FALSE(parseLogLevel("", level));
+    EXPECT_FALSE(parseLogLevel("debugx", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+}
+
+TEST(Logging, LogLevelNameRoundTrips)
+{
+    for (LogLevel level : {LogLevel::Debug, LogLevel::Info,
+                           LogLevel::Warn, LogLevel::Error}) {
+        LogLevel parsed = LogLevel::Info;
+        ASSERT_TRUE(parseLogLevel(logLevelName(level), parsed));
+        EXPECT_EQ(parsed, level);
+    }
+}
+
+TEST_F(LoggingLevelTest, DefaultLevelFiltersDebugOnly)
+{
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+    EXPECT_FALSE(logLevelEnabled(LogLevel::Debug));
+    EXPECT_TRUE(logLevelEnabled(LogLevel::Info));
+    EXPECT_TRUE(logLevelEnabled(LogLevel::Warn));
+    EXPECT_TRUE(logLevelEnabled(LogLevel::Error));
+}
+
+TEST_F(LoggingLevelTest, SetLogLevelFiltersBelowThreshold)
+{
+    setLogLevel(LogLevel::Error);
+    ::testing::internal::CaptureStderr();
+    PP_WARN("filtered warning");
+    PP_INFORM("filtered info");
+    PP_DEBUG("filtered debug");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+
+    setLogLevel(LogLevel::Debug);
+    ::testing::internal::CaptureStderr();
+    PP_DEBUG("visible debug ", 3);
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(),
+              "debug: visible debug 3\n");
+}
+
+TEST_F(LoggingLevelTest, FilteredMacrosDoNotFormatArguments)
+{
+    setLogLevel(LogLevel::Error);
+    int evaluations = 0;
+    auto touch = [&evaluations]() {
+        ++evaluations;
+        return 1;
+    };
+    PP_DEBUG("never ", touch());
+    PP_INFORM("never ", touch());
+    PP_WARN("never ", touch());
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingLevelTest, EnvOverrideIsReloadable)
+{
+    setenv("PIPEDEPTH_LOG", "debug", 1);
+    EXPECT_EQ(reloadLogLevelFromEnv(), LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+
+    setenv("PIPEDEPTH_LOG", "error", 1);
+    EXPECT_EQ(reloadLogLevelFromEnv(), LogLevel::Error);
+
+    unsetenv("PIPEDEPTH_LOG");
+    EXPECT_EQ(reloadLogLevelFromEnv(), LogLevel::Info);
+}
+
+TEST_F(LoggingLevelTest, UnparseableEnvValueFallsBackToInfo)
+{
+    setenv("PIPEDEPTH_LOG", "shouting", 1);
+    EXPECT_EQ(reloadLogLevelFromEnv(), LogLevel::Info);
+}
+
+TEST_F(LoggingLevelTest, ConcurrentWarnsComeOutAsWholeLines)
+{
+    // Several threads each emit distinctive long lines; the single
+    // mutex-guarded sink must keep every line intact (no mid-line
+    // interleaving), which plain stdio gives no guarantee of.
+    constexpr int kThreads = 4;
+    constexpr int kLines = 25;
+    const std::string payload(120, 'x');
+
+    ::testing::internal::CaptureStderr();
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([t, &payload]() {
+            for (int i = 0; i < kLines; ++i)
+                PP_WARN("thread ", t, " line ", i, " ", payload);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    const std::string captured = ::testing::internal::GetCapturedStderr();
+
+    std::set<std::string> expected;
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kLines; ++i) {
+            std::ostringstream os;
+            os << "warn: thread " << t << " line " << i << " " << payload;
+            expected.insert(os.str());
+        }
+    }
+
+    std::istringstream in(captured);
+    std::string line;
+    std::size_t seen = 0;
+    while (std::getline(in, line)) {
+        EXPECT_EQ(expected.count(line), 1u)
+            << "interleaved or mangled line: " << line;
+        ++seen;
+    }
+    EXPECT_EQ(seen, static_cast<std::size_t>(kThreads * kLines));
 }
 
 } // namespace

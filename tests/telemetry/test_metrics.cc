@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the metrics registry: instrument semantics, log2 bucket
+ * math, find-or-create identity, kind collisions, and snapshots.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+TEST(Counter, AddsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, HoldsLastValueIncludingNegative)
+{
+    Gauge g;
+    g.set(7);
+    EXPECT_EQ(g.value(), 7);
+    g.set(-3);
+    EXPECT_EQ(g.value(), -3);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, BucketOfIsBitWidth)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(7), 3u);
+    EXPECT_EQ(Histogram::bucketOf(8), 4u);
+    EXPECT_EQ(Histogram::bucketOf(~0ull), 64u);
+}
+
+TEST(Histogram, BucketLowerBoundInvertsbucketOf)
+{
+    EXPECT_EQ(Histogram::bucketLowerBound(0), 0u);
+    EXPECT_EQ(Histogram::bucketLowerBound(1), 1u);
+    EXPECT_EQ(Histogram::bucketLowerBound(2), 2u);
+    EXPECT_EQ(Histogram::bucketLowerBound(3), 4u);
+    // Every bucket's lower bound maps back into that bucket.
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i)
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLowerBound(i)), i);
+}
+
+TEST(Histogram, RecordTracksCountSumAndBuckets)
+{
+    Histogram h;
+    h.record(0);
+    h.record(1);
+    h.record(1000);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 1001u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(Histogram::bucketOf(1000)), 1u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(Histogram, RecordSecondsUsesMicrosecondConvention)
+{
+    Histogram h;
+    h.recordSeconds(0.0015); // 1500 us
+    EXPECT_EQ(h.sum(), 1500u);
+    h.recordSeconds(-1.0); // clamped to 0
+    EXPECT_EQ(h.bucketCount(0), 1u);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsSameInstrument)
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    Counter &a = reg.counter("test.registry.identity");
+    Counter &b = reg.counter("test.registry.identity");
+    EXPECT_EQ(&a, &b);
+    a.add(5);
+    EXPECT_EQ(b.value(), 5u);
+    a.reset();
+}
+
+TEST(MetricsRegistryDeath, KindCollisionPanics)
+{
+    MetricsRegistry::instance().counter("test.registry.collide");
+    EXPECT_DEATH(MetricsRegistry::instance().gauge("test.registry.collide"),
+                 "already registered with another kind");
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete)
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    reg.counter("test.snapshot.zz").add(2);
+    reg.gauge("test.snapshot.aa").set(-1);
+    reg.histogram("test.snapshot.mm").record(3);
+
+    const std::vector<MetricSnapshot> snap = reg.snapshot();
+    ASSERT_GE(snap.size(), 3u);
+    for (std::size_t i = 1; i < snap.size(); ++i)
+        EXPECT_LT(snap[i - 1].name, snap[i].name);
+
+    bool saw_counter = false, saw_gauge = false, saw_hist = false;
+    for (const auto &m : snap) {
+        if (m.name == "test.snapshot.zz") {
+            saw_counter = true;
+            EXPECT_EQ(m.kind, MetricSnapshot::Kind::Counter);
+            EXPECT_EQ(m.count, 2u);
+        } else if (m.name == "test.snapshot.aa") {
+            saw_gauge = true;
+            EXPECT_EQ(m.kind, MetricSnapshot::Kind::Gauge);
+            EXPECT_EQ(m.gauge, -1);
+        } else if (m.name == "test.snapshot.mm") {
+            saw_hist = true;
+            EXPECT_EQ(m.kind, MetricSnapshot::Kind::Histogram);
+            EXPECT_EQ(m.count, 1u);
+            EXPECT_EQ(m.sum, 3u);
+            ASSERT_EQ(m.buckets.size(), 1u);
+            EXPECT_EQ(m.buckets[0].first, 2u); // lower bound of [2,4)
+            EXPECT_EQ(m.buckets[0].second, 1u);
+        }
+    }
+    EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesAreLossless)
+{
+    Counter &c =
+        MetricsRegistry::instance().counter("test.registry.concurrent");
+    c.reset();
+    constexpr int kThreads = 4;
+    constexpr int kAdds = 10000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&c]() {
+            for (int i = 0; i < kAdds; ++i)
+                c.add();
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kAdds));
+    c.reset();
+}
+
+} // namespace
+} // namespace pipedepth

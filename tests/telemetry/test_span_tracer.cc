@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the span tracer: disabled-by-default no-op behaviour,
+ * recording and rollups, and Chrome trace_event serialization
+ * (parsed back with the in-tree JSON reader, the same way Perfetto
+ * would consume it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "common/json.hh"
+#include "telemetry/telemetry.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+/** Enables tracing for the test body and leaves a clean tracer. */
+class SpanTracerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SpanTracer::instance().clear();
+        SpanTracer::instance().setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        SpanTracer::instance().setEnabled(false);
+        SpanTracer::instance().clear();
+    }
+};
+
+TEST(SpanTracerDisabled, ScopedSpanRecordsNothing)
+{
+    SpanTracer::instance().setEnabled(false);
+    SpanTracer::instance().clear();
+    {
+        TELEM_SPAN(span, "test.disabled");
+        span.tag("key", "value");
+        EXPECT_FALSE(span.active());
+    }
+    EXPECT_EQ(SpanTracer::instance().spanCount(), 0u);
+}
+
+TEST_F(SpanTracerTest, ScopedSpanRecordsOnDestruction)
+{
+    {
+        TELEM_SPAN(span, "test.scope");
+        EXPECT_TRUE(span.active());
+        EXPECT_EQ(SpanTracer::instance().spanCount(), 0u);
+    }
+    EXPECT_EQ(SpanTracer::instance().spanCount(), 1u);
+}
+
+TEST_F(SpanTracerTest, RollupsAggregateByName)
+{
+    for (int i = 0; i < 3; ++i) {
+        TELEM_SPAN(span, "test.repeat");
+    }
+    {
+        TELEM_SPAN(span, "test.once");
+    }
+    const auto rollups = SpanTracer::instance().rollups();
+    ASSERT_EQ(rollups.count("test.repeat"), 1u);
+    ASSERT_EQ(rollups.count("test.once"), 1u);
+    EXPECT_EQ(rollups.at("test.repeat").count, 3u);
+    EXPECT_EQ(rollups.at("test.once").count, 1u);
+}
+
+TEST_F(SpanTracerTest, ChromeTraceIsValidJsonWithTags)
+{
+    {
+        TELEM_SPAN(span, "test.chrome");
+        span.tag("workload", std::string("gcc95"));
+        span.tag("depth", 7);
+        span.tag("ratio", 0.5);
+    }
+
+    std::ostringstream os;
+    SpanTracer::instance().writeChromeTrace(os);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(os.str(), &doc, &error)) << error;
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->array.size(), 1u);
+
+    const JsonValue &ev = events->array[0];
+    ASSERT_TRUE(ev.isObject());
+    EXPECT_EQ(ev.find("name")->string, "test.chrome");
+    EXPECT_EQ(ev.find("ph")->string, "X");
+    ASSERT_NE(ev.find("ts"), nullptr);
+    ASSERT_NE(ev.find("dur"), nullptr);
+    EXPECT_TRUE(ev.find("ts")->isNumber());
+    EXPECT_TRUE(ev.find("dur")->isNumber());
+
+    const JsonValue *args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("workload")->string, "gcc95");
+    // Numeric tags are emitted unquoted.
+    EXPECT_TRUE(args->find("depth")->isNumber());
+    EXPECT_EQ(args->find("depth")->number, 7.0);
+    EXPECT_TRUE(args->find("ratio")->isNumber());
+    EXPECT_EQ(args->find("ratio")->number, 0.5);
+}
+
+TEST_F(SpanTracerTest, SpansFromDifferentThreadsGetDifferentIds)
+{
+    {
+        TELEM_SPAN(span, "test.thread.main");
+    }
+    std::thread([] { TELEM_SPAN(span, "test.thread.worker"); }).join();
+
+    std::ostringstream os;
+    SpanTracer::instance().writeChromeTrace(os);
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::parse(os.str(), &doc));
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->array.size(), 2u);
+    double tid0 = -1, tid1 = -1;
+    for (const JsonValue &ev : events->array) {
+        if (ev.find("name")->string == "test.thread.main")
+            tid0 = ev.find("tid")->number;
+        else
+            tid1 = ev.find("tid")->number;
+    }
+    EXPECT_NE(tid0, tid1);
+}
+
+TEST_F(SpanTracerTest, ClearDropsRecordedSpans)
+{
+    {
+        TELEM_SPAN(span, "test.cleared");
+    }
+    EXPECT_EQ(SpanTracer::instance().spanCount(), 1u);
+    SpanTracer::instance().clear();
+    EXPECT_EQ(SpanTracer::instance().spanCount(), 0u);
+    EXPECT_TRUE(SpanTracer::instance().rollups().empty());
+}
+
+TEST_F(SpanTracerTest, TimestampsAreMonotonicWithinASpan)
+{
+    {
+        TELEM_SPAN(span, "test.mono");
+    }
+    std::ostringstream os;
+    SpanTracer::instance().writeChromeTrace(os);
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::parse(os.str(), &doc));
+    const JsonValue &ev = doc.find("traceEvents")->array[0];
+    EXPECT_GE(ev.find("dur")->number, 0.0);
+    EXPECT_GE(ev.find("ts")->number, 0.0);
+}
+
+} // namespace
+} // namespace pipedepth

@@ -14,15 +14,27 @@
  * reference depth: the share of cycles each ledger bucket accounts
  * for, averaged over the workloads of the class. Because the ledger
  * conserves cycles exactly, each row sums to 1.
+ *
+ * --limit N keeps only the first N catalog workloads (the CI smoke
+ * sweep uses --limit 4). Telemetry (docs/OBSERVABILITY.md):
+ * --trace-out FILE writes a Perfetto-loadable Chrome trace of the
+ * run, --manifest-out FILE the schema-versioned run manifest, and
+ * --events-out FILE a JSONL event stream; any of the three enables
+ * span tracing.
  */
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "sweep/cache_key.hh"
 #include "sweep/sweep_engine.hh"
+#include "telemetry/manifest.hh"
+#include "telemetry/telemetry.hh"
 #include "workloads/catalog.hh"
 
 using namespace pipedepth;
@@ -32,21 +44,61 @@ main(int argc, char **argv)
 {
     SweepEngineOptions engine_options;
     bool stalls = false;
+    std::size_t limit = 0;
+    std::string trace_out, manifest_out, events_out;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--no-cache") == 0) {
+        const std::string arg = argv[i];
+        if (arg == "--no-cache") {
             engine_options.use_cache = false;
-        } else if (std::strcmp(argv[i], "--stalls") == 0) {
+        } else if (arg == "--stalls") {
             stalls = true;
+        } else if (arg == "--limit" && i + 1 < argc) {
+            limit = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            trace_out = argv[++i];
+        } else if (arg == "--manifest-out" && i + 1 < argc) {
+            manifest_out = argv[++i];
+        } else if (arg == "--events-out" && i + 1 < argc) {
+            events_out = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--no-cache] [--stalls]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--no-cache] [--stalls] [--limit N]\n"
+                         "          [--trace-out FILE] [--manifest-out FILE]\n"
+                         "          [--events-out FILE]\n",
                          argv[0]);
             return 2;
         }
     }
 
+    std::vector<WorkloadSpec> specs = workloadCatalog();
+    if (limit > 0 && limit < specs.size())
+        specs.resize(limit);
+
     SweepEngine engine(engine_options);
+
+    const bool telemetry_on =
+        !trace_out.empty() || !manifest_out.empty() || !events_out.empty();
+    RunManifest manifest;
+    if (telemetry_on) {
+        SpanTracer::instance().setEnabled(true);
+        manifest.setTool("calibration_report");
+        manifest.setArgv(argc, argv);
+        StableHasher spec_hash;
+        for (const auto &w : specs)
+            hashWorkloadSpec(spec_hash, w);
+        manifest.addMeta("sim_version", kSimulatorVersionTag);
+        manifest.addMeta("catalog_hash", spec_hash.key().hex());
+        manifest.addMeta("workloads", std::to_string(specs.size()));
+        manifest.addMeta("cache_dir",
+                         engine.cacheEnabled() ? engine.cacheDir() : "");
+        if (!events_out.empty())
+            manifest.openEvents(events_out);
+        engine.attachManifest(&manifest);
+    }
+
     const std::vector<SweepResult> sweeps =
-        engine.runGrid(workloadCatalog(), SweepOptions{});
+        engine.runGrid(specs, SweepOptions{});
 
     struct Acc { int n=0; double a=0,g=0,h=0,perf=0,m3=0,mpki=0,dmr=0; };
     std::map<std::string, Acc> byclass;
@@ -110,5 +162,13 @@ main(int argc, char **argv)
         }
     }
     engine.printSummary(std::cerr);
+    if (telemetry_on) {
+        if (!trace_out.empty())
+            SpanTracer::instance().writeChromeTrace(trace_out);
+        if (!manifest_out.empty())
+            manifest.write(manifest_out);
+        else if (!events_out.empty())
+            manifest.event("run_end");
+    }
     return 0;
 }

@@ -32,6 +32,13 @@
  * percentiles) as JSON to FILE ("-" for stdout) for the perf
  * harness.
  *
+ * Telemetry (docs/OBSERVABILITY.md): --trace-out FILE writes a
+ * Chrome trace_event JSON of the run's spans (open in Perfetto);
+ * --manifest-out FILE writes the schema-versioned run manifest
+ * (provenance, per-cell outcomes, metric snapshot, span rollups);
+ * --events-out FILE streams JSONL events while the run progresses.
+ * Any of the three enables span tracing for the run.
+ *
  * Unknown flags, a missing flag argument, or an unknown workload name
  * print usage / the catalog hint and exit with status 2; simulation
  * failures exit 1.
@@ -48,8 +55,11 @@
 #include "common/table.hh"
 #include "math/least_squares.hh"
 #include "power/activity_power.hh"
+#include "sweep/cache_key.hh"
 #include "sweep/result_cache.hh"
 #include "sweep/sweep_engine.hh"
+#include "telemetry/manifest.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace_io.hh"
 #include "uarch/simulator.hh"
 #include "workloads/catalog.hh"
@@ -68,7 +78,8 @@ usage(const char *argv0)
         "          [--ooo] [--predictor bimodal|gshare|taken]\n"
         "          [--length N] [--warmup N] [--csv] [--no-cache]\n"
         "          [--threads N] [--stalls] [--stalls-json] [--audit]\n"
-        "          [--verbose] [--perf-json FILE]\n",
+        "          [--verbose] [--perf-json FILE] [--trace-out FILE]\n"
+        "          [--manifest-out FILE] [--events-out FILE]\n",
         argv0);
     std::exit(2);
 }
@@ -268,6 +279,7 @@ main(int argc, char **argv)
     bool audit = false;
     bool verbose = false;
     std::string perf_json;
+    std::string trace_out, manifest_out, events_out;
     unsigned threads = 0;
     std::size_t length = 200000;
     std::size_t warmup = 60000;
@@ -305,6 +317,12 @@ main(int argc, char **argv)
             verbose = true;
         } else if (arg == "--perf-json" && i + 1 < argc) {
             perf_json = argv[++i];
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            trace_out = argv[++i];
+        } else if (arg == "--manifest-out" && i + 1 < argc) {
+            manifest_out = argv[++i];
+        } else if (arg == "--events-out" && i + 1 < argc) {
+            events_out = argv[++i];
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
@@ -339,6 +357,13 @@ main(int argc, char **argv)
         }
     }
 
+    // Enable span tracing before the trace is generated/loaded so the
+    // trace.generate span lands in the output too.
+    const bool telemetry_on =
+        !trace_out.empty() || !manifest_out.empty() || !events_out.empty();
+    if (telemetry_on)
+        SpanTracer::instance().setEnabled(true);
+
     const Trace trace = tape.empty()
                             ? findWorkload(workload).makeTrace(length)
                             : readTrace(tape);
@@ -351,10 +376,48 @@ main(int argc, char **argv)
         return cfg;
     };
 
+    const int min_depth = ooo ? 3 : 2;
+    std::vector<PipelineConfig> configs;
+    if (sweep) {
+        configs.reserve(24);
+        for (int p = min_depth; p <= 25; ++p)
+            configs.push_back(configure(p));
+    } else {
+        configs.push_back(configure(depth));
+    }
+
     SweepEngineOptions engine_options;
     engine_options.threads = threads;
     engine_options.use_cache = !no_cache;
     SweepEngine engine(engine_options);
+
+    RunManifest manifest;
+    if (telemetry_on) {
+        manifest.setTool("pipesim");
+        manifest.setArgv(argc, argv);
+        StableHasher config_hash;
+        for (const auto &cfg : configs)
+            hashPipelineConfig(config_hash, cfg);
+        manifest.addMeta("sim_version", kSimulatorVersionTag);
+        manifest.addMeta("config_hash", config_hash.key().hex());
+        manifest.addMeta("trace", trace.name);
+        manifest.addMeta("cache_dir",
+                         engine.cacheEnabled() ? engine.cacheDir() : "");
+        if (!events_out.empty())
+            manifest.openEvents(events_out);
+        engine.attachManifest(&manifest);
+    }
+
+    auto emitTelemetry = [&]() {
+        if (!telemetry_on)
+            return;
+        if (!trace_out.empty())
+            SpanTracer::instance().writeChromeTrace(trace_out);
+        if (!manifest_out.empty())
+            manifest.write(manifest_out);
+        else if (!events_out.empty())
+            manifest.event("run_end");
+    };
 
     if (verbose) {
         if (no_cache) {
@@ -388,8 +451,7 @@ main(int argc, char **argv)
     };
 
     if (!sweep) {
-        const SimResult run =
-            engine.runConfigs(trace, {configure(depth)}).front();
+        const SimResult run = engine.runConfigs(trace, configs).front();
         if (stalls_json) {
             printStallJson(run);
         } else {
@@ -401,14 +463,10 @@ main(int argc, char **argv)
         }
         engine.printSummary(std::cerr);
         emitPerf();
+        emitTelemetry();
         return 0;
     }
 
-    const int min_depth = ooo ? 3 : 2;
-    std::vector<PipelineConfig> configs;
-    configs.reserve(24);
-    for (int p = min_depth; p <= 25; ++p)
-        configs.push_back(configure(p));
     const std::vector<SimResult> runs = engine.runConfigs(trace, configs);
 
     const SimResult *ref = nullptr;
@@ -459,5 +517,6 @@ main(int argc, char **argv)
     }
     engine.printSummary(std::cerr);
     emitPerf();
+    emitTelemetry();
     return 0;
 }
