@@ -1,0 +1,292 @@
+#include "common/failpoint.hh"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+namespace failpoints
+{
+
+namespace
+{
+
+enum class Mode
+{
+    Off,
+    Always,
+    Once,
+    Every,
+    Hits,
+    Probability,
+};
+
+struct Site
+{
+    Mode mode = Mode::Off;
+    std::uint64_t every = 0;           //!< Every: period
+    std::set<std::uint64_t> fire_hits; //!< Hits: 1-based indices
+    double probability = 0.0;          //!< Probability: chance per hit
+    std::uint64_t hits = 0;            //!< evaluations since reset
+    std::uint64_t fires = 0;           //!< times the site fired
+};
+
+std::mutex g_mutex;
+std::map<std::string, Site> g_sites;
+std::uint64_t g_seed = 1;
+
+/** SplitMix64: well-mixed 64-bit hash of a 64-bit input. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : s)
+        h = (h ^ c) * 1099511628211ull;
+    return h;
+}
+
+/** Deterministic decision of p: mode for hit @p index of @p name. */
+bool
+probabilityFires(const std::string &name, std::uint64_t index, double p)
+{
+    const std::uint64_t draw =
+        splitmix64(g_seed ^ fnv1a(name) ^ (index * 0x2545f4914f6cdd1dull));
+    return static_cast<double>(draw) <
+           p * 18446744073709551616.0; // 2^64
+}
+
+void
+refreshActiveFlag()
+{
+    bool active = false;
+    for (const auto &[name, site] : g_sites)
+        active = active || site.mode != Mode::Off;
+    detail::g_active.store(active, std::memory_order_relaxed);
+}
+
+/** Parse one "site=mode" entry into the registry. */
+bool
+configureEntry(const std::string &entry, std::string *error)
+{
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        if (error)
+            *error = "expected site=mode, got '" + entry + "'";
+        return false;
+    }
+    const std::string name = entry.substr(0, eq);
+    const std::string mode = entry.substr(eq + 1);
+
+    Site site;
+    if (mode == "off") {
+        site.mode = Mode::Off;
+    } else if (mode == "always") {
+        site.mode = Mode::Always;
+    } else if (mode == "once") {
+        site.mode = Mode::Once;
+    } else if (mode.rfind("every:", 0) == 0) {
+        site.mode = Mode::Every;
+        site.every = std::strtoull(mode.c_str() + 6, nullptr, 10);
+        if (site.every == 0) {
+            if (error)
+                *error = "every: needs a positive period in '" + entry +
+                         "'";
+            return false;
+        }
+    } else if (mode.rfind("hits:", 0) == 0) {
+        site.mode = Mode::Hits;
+        const char *p = mode.c_str() + 5;
+        while (*p) {
+            char *end = nullptr;
+            const std::uint64_t n = std::strtoull(p, &end, 10);
+            if (end == p || n == 0) {
+                if (error)
+                    *error = "hits: needs 1-based indices in '" + entry +
+                             "'";
+                return false;
+            }
+            site.fire_hits.insert(n);
+            p = *end == ',' ? end + 1 : end;
+            if (*end && *end != ',') {
+                if (error)
+                    *error = "bad hits list in '" + entry + "'";
+                return false;
+            }
+        }
+        if (site.fire_hits.empty()) {
+            if (error)
+                *error = "hits: needs at least one index in '" + entry +
+                         "'";
+            return false;
+        }
+    } else if (mode.rfind("p:", 0) == 0) {
+        site.mode = Mode::Probability;
+        char *end = nullptr;
+        site.probability = std::strtod(mode.c_str() + 2, &end);
+        if (end == mode.c_str() + 2 || *end != '\0' ||
+            site.probability < 0.0 || site.probability > 1.0) {
+            if (error)
+                *error = "p: needs a probability in [0, 1] in '" + entry +
+                         "'";
+            return false;
+        }
+    } else {
+        if (error)
+            *error = "unknown failpoint mode '" + mode + "'";
+        return false;
+    }
+
+    Site &slot = g_sites[name];
+    const std::uint64_t hits = slot.hits, fires = slot.fires;
+    slot = site;
+    slot.hits = hits; // re-arming keeps history (reset() clears it)
+    slot.fires = fires;
+    return true;
+}
+
+/** One-time application of the environment at process start. */
+struct EnvInit
+{
+    EnvInit() { configureFromEnv(); }
+} g_env_init;
+
+} // namespace
+
+namespace detail
+{
+
+std::atomic<bool> g_active{false};
+
+bool
+evaluate(const char *name)
+{
+    bool fires = false;
+    {
+        const std::lock_guard<std::mutex> lock(g_mutex);
+        const auto it = g_sites.find(name);
+        if (it == g_sites.end())
+            return false;
+        Site &site = it->second;
+        const std::uint64_t index = ++site.hits; // 1-based
+        switch (site.mode) {
+          case Mode::Off:
+            break;
+          case Mode::Always:
+            fires = true;
+            break;
+          case Mode::Once:
+            fires = index == 1;
+            break;
+          case Mode::Every:
+            fires = index % site.every == 0;
+            break;
+          case Mode::Hits:
+            fires = site.fire_hits.count(index) > 0;
+            break;
+          case Mode::Probability:
+            fires = probabilityFires(it->first, index, site.probability);
+            break;
+        }
+        if (fires)
+            ++site.fires;
+    }
+    // No metrics-registry counter here: pp_common must not depend on
+    // pp_telemetry. Per-site fire counts are queryable via fireCount.
+    if (fires)
+        PP_DEBUG("failpoint '", name, "' fired");
+    return fires;
+}
+
+} // namespace detail
+
+bool
+configure(const std::string &spec, std::string *error)
+{
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        std::size_t end = spec.find(';', begin);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string entry = spec.substr(begin, end - begin);
+        if (!entry.empty() && !configureEntry(entry, error)) {
+            refreshActiveFlag();
+            return false;
+        }
+        begin = end + 1;
+    }
+    refreshActiveFlag();
+    return true;
+}
+
+void
+setSeed(std::uint64_t seed)
+{
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    g_seed = seed;
+}
+
+void
+reset()
+{
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    g_sites.clear();
+    g_seed = 1;
+    detail::g_active.store(false, std::memory_order_relaxed);
+}
+
+bool
+anyActive()
+{
+    return detail::g_active.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+hitCount(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    const auto it = g_sites.find(name);
+    return it == g_sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+fireCount(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    const auto it = g_sites.find(name);
+    return it == g_sites.end() ? 0 : it->second.fires;
+}
+
+void
+configureFromEnv()
+{
+    if (const char *seed = std::getenv("PIPEDEPTH_FAILPOINT_SEED"))
+        setSeed(std::strtoull(seed, nullptr, 10));
+    const char *spec = std::getenv("PIPEDEPTH_FAILPOINTS");
+    if (!spec || !*spec)
+        return;
+    std::string error;
+    if (!configure(spec, &error)) {
+        PP_WARN("ignoring malformed PIPEDEPTH_FAILPOINTS entry: ",
+                error);
+    } else {
+        PP_INFORM("failpoints armed from PIPEDEPTH_FAILPOINTS: ", spec);
+    }
+}
+
+} // namespace failpoints
+} // namespace pipedepth

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic fault injection (docs/RELIABILITY.md).
+ *
+ * A *failpoint* is a named site in the code where a fault — an I/O
+ * error, a crashed simulation, a failed thread spawn — can be
+ * injected on demand. Sites are compiled in unconditionally and cost
+ * one relaxed atomic load when no failpoint is armed, so production
+ * binaries carry the exact code paths the reliability suite tests.
+ *
+ * Two site flavours:
+ *
+ *  - PP_FAILPOINT(name) throws FailpointError when the site fires.
+ *    Used where a real fault would surface as an exception (a cell
+ *    simulation dying mid-run).
+ *  - PP_FAILPOINT_FIRED(name) returns true when the site fires. Used
+ *    where a real fault surfaces as an error return (a failed write,
+ *    rename or spawn), so the injected fault exercises the *same*
+ *    degradation path the genuine error would.
+ *
+ * Activation is a spec string, from the PIPEDEPTH_FAILPOINTS
+ * environment variable or `pipesim --failpoint`:
+ *
+ *     site=mode[;site=mode...]
+ *
+ * with modes
+ *
+ *     off          never fires
+ *     always       every hit fires
+ *     once         the first hit fires
+ *     every:N      hits N, 2N, 3N, ... fire (1-based)
+ *     hits:A,B,C   exactly hits A, B and C fire (1-based)
+ *     p:F          each hit fires with probability F, decided by a
+ *                  seeded per-site hash of the hit index
+ *
+ * Every mode is deterministic given the seed (PIPEDEPTH_FAILPOINT_SEED
+ * or setSeed): the decision for the Nth hit of a site is a pure
+ * function of (seed, site, N), so a failing run replays exactly under
+ * the same hit ordering (single-threaded runs replay bit-for-bit;
+ * multi-threaded runs fire the same decisions at the same per-site
+ * hit indices, whichever cells draw them).
+ *
+ * Thread-safety: hits may race freely; configure/reset are for the
+ * main thread (tests use ScopedFailpoints around the racing code).
+ */
+
+#ifndef PIPEDEPTH_COMMON_FAILPOINT_HH
+#define PIPEDEPTH_COMMON_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pipedepth
+{
+
+/** The exception an armed PP_FAILPOINT site throws. */
+class FailpointError : public std::runtime_error
+{
+  public:
+    explicit FailpointError(const std::string &failpoint)
+        : std::runtime_error("injected fault at failpoint '" +
+                             failpoint + "'"),
+          failpoint_(failpoint)
+    {
+    }
+
+    /** Name of the site that fired. */
+    const std::string &failpoint() const { return failpoint_; }
+
+  private:
+    std::string failpoint_;
+};
+
+namespace failpoints
+{
+
+/**
+ * Arm failpoints from a spec string (see file comment). Unknown site
+ * names are fine — sites are addressed by name, not registered ahead
+ * of time. @return false (with a reason in @p error, when non-null)
+ * on a malformed spec; well-formed entries before the bad one stay
+ * armed.
+ */
+bool configure(const std::string &spec, std::string *error = nullptr);
+
+/** Seed of the p: mode decisions (default 1). */
+void setSeed(std::uint64_t seed);
+
+/** Disarm every failpoint and zero all hit/fire counts. */
+void reset();
+
+/** Is any failpoint armed? */
+bool anyActive();
+
+/** Times the site was evaluated (armed or not, since last reset). */
+std::uint64_t hitCount(const std::string &name);
+
+/** Times the site actually fired. */
+std::uint64_t fireCount(const std::string &name);
+
+/**
+ * Apply PIPEDEPTH_FAILPOINTS / PIPEDEPTH_FAILPOINT_SEED. Called once
+ * automatically at process start (static initializer); exposed for
+ * tests that mutate their own environment.
+ */
+void configureFromEnv();
+
+namespace detail
+{
+
+extern std::atomic<bool> g_active;
+
+/** Slow path: look the site up and decide. @return true = fire. */
+bool evaluate(const char *name);
+
+} // namespace detail
+
+/** True iff the site fires on this hit (never throws). */
+inline bool
+fired(const char *name)
+{
+    if (!detail::g_active.load(std::memory_order_relaxed))
+        return false;
+    return detail::evaluate(name);
+}
+
+/** Throw FailpointError iff the site fires on this hit. */
+inline void
+hit(const char *name)
+{
+    if (fired(name))
+        throw FailpointError(name);
+}
+
+} // namespace failpoints
+
+/**
+ * RAII failpoint arming for tests: arms @p spec on construction,
+ * reset()s on destruction (all sites, so tests compose by nesting
+ * rather than overlapping).
+ */
+class ScopedFailpoints
+{
+  public:
+    explicit ScopedFailpoints(const std::string &spec,
+                              std::uint64_t seed = 1)
+    {
+        failpoints::setSeed(seed);
+        std::string error;
+        if (!failpoints::configure(spec, &error))
+            throw std::invalid_argument("bad failpoint spec: " + error);
+    }
+
+    ~ScopedFailpoints() { failpoints::reset(); }
+
+    ScopedFailpoints(const ScopedFailpoints &) = delete;
+    ScopedFailpoints &operator=(const ScopedFailpoints &) = delete;
+};
+
+/** Throwing failpoint site (see file comment). */
+#define PP_FAILPOINT(name) ::pipedepth::failpoints::hit(name)
+
+/** Error-return failpoint site: true = the injected fault fired. */
+#define PP_FAILPOINT_FIRED(name) ::pipedepth::failpoints::fired(name)
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_COMMON_FAILPOINT_HH

@@ -1,0 +1,73 @@
+#include "common/interrupt.hh"
+
+#include <atomic>
+#include <csignal>
+
+#include <unistd.h>
+
+namespace pipedepth
+{
+
+namespace
+{
+
+std::atomic<int> g_interrupt_signal{0};
+std::atomic<bool> g_interrupt_requested{false};
+
+extern "C" void
+drainSignalHandler(int sig)
+{
+    if (g_interrupt_requested.exchange(true)) {
+        // Second signal: the user wants out *now*. _exit is
+        // async-signal-safe; the kernel reclaims everything.
+        _exit(128 + sig);
+    }
+    g_interrupt_signal.store(sig);
+    // Async-signal-safe one-liner so a quiet drain is not mistaken
+    // for a hang.
+    const char msg[] =
+        "\npipedepth: draining (finishing in-flight cells; signal "
+        "again to abort)\n";
+    const ssize_t ignored = write(2, msg, sizeof(msg) - 1);
+    (void)ignored;
+}
+
+} // namespace
+
+void
+installInterruptHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = drainSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: blocked reads should wake too
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+interruptRequested()
+{
+    return g_interrupt_requested.load(std::memory_order_relaxed);
+}
+
+int
+interruptSignal()
+{
+    return g_interrupt_signal.load(std::memory_order_relaxed);
+}
+
+void
+requestInterrupt()
+{
+    g_interrupt_requested.store(true, std::memory_order_relaxed);
+}
+
+void
+clearInterruptRequest()
+{
+    g_interrupt_requested.store(false, std::memory_order_relaxed);
+    g_interrupt_signal.store(0, std::memory_order_relaxed);
+}
+
+} // namespace pipedepth

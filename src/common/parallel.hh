@@ -30,9 +30,11 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <system_error>
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.hh"
 #include "telemetry/metrics.hh"
 
 namespace pipedepth
@@ -158,11 +160,32 @@ parallelMap(const std::vector<T> &items, Fn fn, unsigned threads = 0,
                     .count());
         };
 
+        static Counter &spawn_fail_counter =
+            MetricsRegistry::instance().counter(
+                "parallel.worker.spawn_fail");
         std::vector<std::thread> pool;
         pool.reserve(threads);
-        for (unsigned t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
-        spawn_counter.add(threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            // A failed spawn (thread-resource exhaustion, or the
+            // parallel.worker.spawn failpoint) degrades the pool
+            // instead of aborting the sweep: whatever workers did
+            // start carry the grid, and a fully failed pool falls
+            // back to running inline on this thread.
+            try {
+                if (PP_FAILPOINT_FIRED("parallel.worker.spawn")) {
+                    throw std::system_error(
+                        std::make_error_code(
+                            std::errc::resource_unavailable_try_again),
+                        "injected worker-spawn failure");
+                }
+                pool.emplace_back(worker);
+            } catch (const std::system_error &) {
+                spawn_fail_counter.add();
+            }
+        }
+        spawn_counter.add(pool.size());
+        if (pool.empty())
+            worker();
         for (auto &th : pool)
             th.join();
     }

@@ -1,13 +1,38 @@
 #include "core/params.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 
 namespace pipedepth
 {
 
+namespace
+{
+
+/**
+ * Every range check below has the shape "fatal unless lo OP v"; a NaN
+ * makes all of those comparisons false, so an unguarded check chain
+ * would accept it. Reject non-finite values first, by field name.
+ */
+void
+checkFinite(double v, const char *what)
+{
+    if (!std::isfinite(v))
+        PP_FATAL(what, " must be finite (got ", v, ")");
+}
+
+} // namespace
+
 void
 MachineParams::validate() const
 {
+    checkFinite(alpha, "alpha");
+    checkFinite(gamma, "gamma");
+    checkFinite(hazard_ratio, "hazard_ratio");
+    checkFinite(t_p, "t_p");
+    checkFinite(t_o, "t_o");
+    checkFinite(c_mem, "c_mem");
     if (alpha < 1.0)
         PP_FATAL("alpha must be >= 1 (got ", alpha, ")");
     if (gamma <= 0.0 || gamma > 1.0)
@@ -25,6 +50,11 @@ MachineParams::validate() const
 void
 PowerParams::validate() const
 {
+    checkFinite(p_d, "p_d");
+    checkFinite(p_l, "p_l");
+    checkFinite(n_l, "n_l");
+    checkFinite(beta, "beta");
+    checkFinite(f_cg, "f_cg");
     if (p_d < 0.0)
         PP_FATAL("p_d must be >= 0 (got ", p_d, ")");
     if (p_l < 0.0)

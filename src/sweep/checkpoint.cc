@@ -1,0 +1,145 @@
+#include "sweep/checkpoint.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/failpoint.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace pipedepth
+{
+
+std::string
+SweepCheckpoint::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema_version\": " << kSchemaVersion << ",\n";
+    os << "  \"tool\": " << jsonQuote(tool) << ",\n";
+    os << "  \"argv\": [";
+    for (std::size_t i = 0; i < argv.size(); ++i)
+        os << (i ? ", " : "") << jsonQuote(argv[i]);
+    os << "],\n";
+    os << "  \"config_hash\": " << jsonQuote(config_hash) << ",\n";
+    os << "  \"status\": " << jsonQuote(status) << ",\n";
+    os << "  \"cells_done\": " << cells_done << ",\n";
+    os << "  \"cells_total\": " << cells_total << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+bool
+writeCheckpoint(const std::string &path, const SweepCheckpoint &checkpoint)
+{
+    const std::string json = checkpoint.toJson();
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+
+    std::FILE *out = PP_FAILPOINT_FIRED("checkpoint.write")
+                         ? nullptr
+                         : std::fopen(tmp.c_str(), "wb");
+    if (!out) {
+        PP_WARN("cannot write checkpoint '", path, "'");
+        return false;
+    }
+    const bool written =
+        std::fwrite(json.data(), 1, json.size(), out) == json.size() &&
+        std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
+    const bool closed = std::fclose(out) == 0;
+    if (!written || !closed) {
+        std::remove(tmp.c_str());
+        PP_WARN("short write of checkpoint '", path, "'");
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        PP_WARN("cannot publish checkpoint '", path, "'");
+        return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+bool
+failRead(std::string *error, const std::string &why)
+{
+    if (error)
+        *error = why;
+    return false;
+}
+
+} // namespace
+
+bool
+readCheckpoint(const std::string &path, SweepCheckpoint *out,
+               std::string *error)
+{
+    std::ifstream in(path);
+    if (!in)
+        return failRead(error, "cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    JsonValue doc;
+    std::string parse_error;
+    if (!JsonValue::parse(buf.str(), &doc, &parse_error))
+        return failRead(error, "malformed checkpoint: " + parse_error);
+    if (!doc.isObject())
+        return failRead(error, "checkpoint is not a JSON object");
+
+    const JsonValue *version = doc.find("schema_version");
+    if (!version || !version->isNumber())
+        return failRead(error, "schema_version missing");
+    if (version->number != SweepCheckpoint::kSchemaVersion) {
+        return failRead(error,
+                        "unsupported checkpoint schema_version " +
+                            jsonNumber(version->number) + " (expected " +
+                            std::to_string(
+                                SweepCheckpoint::kSchemaVersion) +
+                            ")");
+    }
+
+    const JsonValue *tool = doc.find("tool");
+    const JsonValue *config_hash = doc.find("config_hash");
+    const JsonValue *status = doc.find("status");
+    if (!tool || !tool->isString() || !config_hash ||
+        !config_hash->isString() || !status || !status->isString())
+        return failRead(error, "tool/config_hash/status missing");
+    if (status->string != "running" && status->string != "interrupted" &&
+        status->string != "complete")
+        return failRead(error,
+                        "status '" + status->string + "' unknown");
+
+    const JsonValue *argv = doc.find("argv");
+    if (!argv || !argv->isArray())
+        return failRead(error, "argv missing or not an array");
+    for (const JsonValue &arg : argv->array) {
+        if (!arg.isString())
+            return failRead(error, "argv entry is not a string");
+    }
+
+    const JsonValue *done = doc.find("cells_done");
+    const JsonValue *total = doc.find("cells_total");
+    if (!done || !done->isNumber() || !total || !total->isNumber())
+        return failRead(error, "cells_done/cells_total missing");
+
+    if (out) {
+        out->tool = tool->string;
+        out->argv.clear();
+        for (const JsonValue &arg : argv->array)
+            out->argv.push_back(arg.string);
+        out->config_hash = config_hash->string;
+        out->status = status->string;
+        out->cells_done = static_cast<std::uint64_t>(done->number);
+        out->cells_total = static_cast<std::uint64_t>(total->number);
+    }
+    return true;
+}
+
+} // namespace pipedepth

@@ -20,6 +20,37 @@ SweepOptions::configAtDepth(int depth) const
     return config;
 }
 
+void
+SweepOptions::validate() const
+{
+    if (min_depth < 2 || max_depth > 30 || min_depth >= max_depth) {
+        PP_FATAL("SweepOptions: bad depth range [", min_depth, ", ",
+                 max_depth, "] (must satisfy 2 <= min < max <= 30)");
+    }
+    if (reference_depth < min_depth || reference_depth > max_depth) {
+        PP_FATAL("SweepOptions: reference depth ", reference_depth,
+                 " outside sweep range [", min_depth, ", ", max_depth,
+                 "]");
+    }
+    if (trace_length == 0)
+        PP_FATAL("SweepOptions: trace_length must be positive");
+    if (warmup_instructions >= trace_length) {
+        PP_FATAL("SweepOptions: warmup_instructions (",
+                 warmup_instructions, ") must be below trace_length (",
+                 trace_length, ")");
+    }
+    // NaN fails every comparison, so test finiteness explicitly.
+    if (!std::isfinite(p_d) || p_d <= 0.0)
+        PP_FATAL("SweepOptions: p_d must be finite and positive (got ",
+                 p_d, ")");
+    if (!std::isfinite(leakage_fraction) || leakage_fraction < 0.0 ||
+        leakage_fraction >= 1.0) {
+        PP_FATAL("SweepOptions: leakage_fraction must be in [0, 1) "
+                 "(got ",
+                 leakage_fraction, ")");
+    }
+}
+
 std::vector<double>
 SweepResult::depths() const
 {

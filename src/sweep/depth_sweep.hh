@@ -44,6 +44,30 @@ struct SweepOptions
 
     /** The pipeline configuration of one cell of this sweep. */
     PipelineConfig configAtDepth(int depth) const;
+
+    /**
+     * Abort (fatal) on unusable options, naming the offending field:
+     * depth bounds outside [2, 30] or inverted, reference depth
+     * outside the range, zero trace length, and NaN or out-of-range
+     * p_d / leakage_fraction. Runs before any cell simulates so
+     * garbage never reaches the grid.
+     */
+    void validate() const;
+};
+
+/**
+ * Why one grid cell has no result: the cell exhausted its retries
+ * (see SweepEngineOptions::max_retries) and was quarantined. The
+ * sweep completed around it; the hole is explicit here and in the run
+ * manifest, never a silently truncated grid.
+ */
+struct FailureRecord
+{
+    std::string workload;
+    int depth = 0;
+    std::string cause;     //!< what() of the last failure
+    std::string failpoint; //!< failpoint name when injected, else ""
+    unsigned attempts = 0; //!< tries made (1 + retries)
 };
 
 /** All simulation results of one workload across depths. */
@@ -54,6 +78,10 @@ struct SweepResult
     std::vector<SimResult> runs;      //!< one per depth, ascending
     ActivityPowerModel power_model;   //!< with calibrated leakage
     MachineParams extracted;          //!< theory params (reference run)
+    std::vector<FailureRecord> failures; //!< quarantined cells (holes)
+
+    /** Did every cell produce a result (no quarantined holes)? */
+    bool complete() const { return failures.empty(); }
 
     /** Depths as doubles (x axis of every figure). */
     std::vector<double> depths() const;

@@ -8,8 +8,12 @@
 #include <fstream>
 #include <mutex>
 
+#include <csignal>
+#include <cerrno>
+
 #include <unistd.h>
 
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/telemetry.hh"
@@ -237,6 +241,35 @@ deserializeSimResult(const std::vector<std::uint8_t> &bytes, SimResult *out)
     return true;
 }
 
+namespace
+{
+
+/**
+ * Is the ".tmp.<pid>.<n>" suffix of @p filename from a process that
+ * no longer exists? Temp files are normally renamed or removed by
+ * their writer; one left behind by a crashed or killed process would
+ * otherwise accumulate forever. A parse failure or a live (or
+ * not-ours-to-signal, EPERM) pid keeps the file — sweeping must never
+ * race an in-flight store.
+ */
+bool
+isStaleTempFile(const std::string &filename)
+{
+    const std::size_t tag = filename.find(".tmp.");
+    if (tag == std::string::npos)
+        return false;
+    char *end = nullptr;
+    const unsigned long pid =
+        std::strtoul(filename.c_str() + tag + 5, &end, 10);
+    if (end == filename.c_str() + tag + 5 || *end != '.' || pid == 0)
+        return false;
+    if (pid == static_cast<unsigned long>(::getpid()))
+        return false;
+    return ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
+}
+
+} // namespace
+
 ResultCache::ResultCache(const std::string &dir) : dir_(dir)
 {
     if (dir_.empty())
@@ -247,7 +280,43 @@ ResultCache::ResultCache(const std::string &dir) : dir_(dir)
         PP_WARN("sweep cache disabled: cannot create '", dir_, "': ",
                 ec.message());
         dir_.clear();
+        return;
     }
+    sweepStaleTempFiles();
+}
+
+std::size_t
+ResultCache::sweepStaleTempFiles() const
+{
+    static Counter &swept =
+        MetricsRegistry::instance().counter("cache.tmp.sweep");
+
+    if (!enabled())
+        return 0;
+    std::size_t removed = 0;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string filename = entry.path().filename().string();
+        if (!isStaleTempFile(filename))
+            continue;
+        std::error_code remove_ec;
+        if (std::filesystem::remove(entry.path(), remove_ec) &&
+            !remove_ec) {
+            ++removed;
+            swept.add();
+            PP_DEBUG("result cache: swept stale temp file '", filename,
+                     "'");
+        }
+    }
+    if (removed) {
+        PP_INFORM("result cache: swept ", removed,
+                  " stale temp file(s) left by dead writers in '", dir_,
+                  "'");
+    }
+    return removed;
 }
 
 std::string
@@ -324,6 +393,17 @@ ResultCache::load(const CacheKey &key, bool *corrupt) const
         span.tag("result", "miss");
         return std::nullopt;
     }
+    // An injected read fault degrades exactly like a real one: the
+    // probe is a miss (transient I/O error, entry kept) and the cell
+    // recomputes.
+    if (PP_FAILPOINT_FIRED("cache.load.read")) {
+        static Counter &ioerrors =
+            MetricsRegistry::instance().counter("cache.probe.ioerror");
+        ioerrors.add();
+        misses.add();
+        span.tag("result", "ioerror");
+        return std::nullopt;
+    }
     std::vector<std::uint8_t> bytes(
         (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
 
@@ -377,20 +457,37 @@ ResultCache::store(const CacheKey &key, const SimResult &result) const
 
     const std::vector<std::uint8_t> bytes = serializeSimResult(result);
     {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        std::FILE *out = PP_FAILPOINT_FIRED("cache.store.open")
+                             ? nullptr
+                             : std::fopen(tmp.c_str(), "wb");
         if (!out) {
             failures.add();
             return false;
         }
-        out.write(reinterpret_cast<const char *>(bytes.data()),
-                  static_cast<std::streamsize>(bytes.size()));
-        if (!out) {
+        bool ok = !PP_FAILPOINT_FIRED("cache.store.write") &&
+                  std::fwrite(bytes.data(), 1, bytes.size(), out) ==
+                      bytes.size();
+        ok = ok && std::fflush(out) == 0;
+        // Durability half of the atomic-rename contract: the payload
+        // must be on stable storage before the name is, or a crash
+        // right after the rename can leave a visible entry with
+        // zero-length or torn contents.
+        ok = ok && ::fsync(::fileno(out)) == 0;
+        ok = std::fclose(out) == 0 && ok;
+        if (!ok) {
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
             failures.add();
             return false;
         }
     }
 
     std::error_code ec;
+    if (PP_FAILPOINT_FIRED("cache.store.rename")) {
+        std::filesystem::remove(tmp, ec);
+        failures.add();
+        return false;
+    }
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
         std::filesystem::remove(tmp, ec);

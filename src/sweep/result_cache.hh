@@ -108,6 +108,14 @@ class ResultCache
     /** Path an entry for @p key would live at (for tests/tools). */
     std::string entryPath(const CacheKey &key) const;
 
+    /**
+     * Remove `*.tmp.<pid>.<n>` files whose writer process is gone
+     * (crashed or killed mid-store). Runs automatically when a cache
+     * opens; exposed for tests. Removals are counted under the
+     * `cache.tmp.sweep` metric. @return files removed
+     */
+    std::size_t sweepStaleTempFiles() const;
+
   private:
     std::string dir_; //!< empty = disabled
 };

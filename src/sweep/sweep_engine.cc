@@ -7,8 +7,11 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "calib/extract.hh"
+#include "common/failpoint.hh"
+#include "common/interrupt.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/table.hh"
@@ -67,9 +70,17 @@ struct CellTallies
     std::atomic<std::uint64_t> errors{0};
     std::atomic<std::uint64_t> traces{0};
     std::atomic<std::uint64_t> instructions{0};
+    std::atomic<std::uint64_t> retried{0};
+    std::atomic<std::uint64_t> quarantined{0};
+    std::atomic<std::uint64_t> skipped{0};
 
     std::mutex cell_seconds_mutex;
     std::vector<double> cell_seconds; //!< computed cells only
+
+    /** Quarantined/skipped cells, with the owning spec index so
+     *  runGrid can distribute them to per-workload SweepResults. */
+    std::mutex failures_mutex;
+    std::vector<std::pair<std::size_t, FailureRecord>> failures;
 
     void
     recordCellSeconds(double seconds)
@@ -80,7 +91,95 @@ struct CellTallies
         const std::lock_guard<std::mutex> lock(cell_seconds_mutex);
         cell_seconds.push_back(seconds);
     }
+
+    void
+    recordFailure(std::size_t spec, FailureRecord record)
+    {
+        const std::lock_guard<std::mutex> lock(failures_mutex);
+        failures.emplace_back(spec, std::move(record));
+    }
 };
+
+/** Outcome of one cell's attempt loop. */
+struct CellAttempt
+{
+    bool ok = false;
+    SimResult result;
+    unsigned attempts = 0;    //!< tries made
+    std::string cause;        //!< what() of the last failure
+    std::string failpoint;    //!< failpoint name when injected, else ""
+};
+
+/**
+ * Run @p compute up to 1 + max_retries times with bounded exponential
+ * backoff between attempts. With fail_fast, the first exception
+ * propagates (legacy abort-the-sweep semantics); otherwise the last
+ * failure is described in the returned CellAttempt and the cell is
+ * the caller's to quarantine.
+ */
+template <typename Fn>
+CellAttempt
+runWithRetries(Fn compute, const SweepEngineOptions &options)
+{
+    static Counter &retry_counter =
+        MetricsRegistry::instance().counter("sweep.cell.retry");
+
+    CellAttempt attempt;
+    const unsigned tries = 1 + options.max_retries;
+    for (unsigned k = 1; k <= tries; ++k) {
+        attempt.attempts = k;
+        try {
+            attempt.result = compute();
+            attempt.ok = true;
+            return attempt;
+        } catch (...) {
+            if (options.fail_fast)
+                throw;
+            // Describe the failure (rethrow-and-catch keeps one
+            // handler chain for both failpoint and genuine faults).
+            try {
+                throw;
+            } catch (const FailpointError &e) {
+                attempt.cause = e.what();
+                attempt.failpoint = e.failpoint();
+            } catch (const std::exception &e) {
+                attempt.cause = e.what();
+                attempt.failpoint.clear();
+            } catch (...) {
+                attempt.cause = "unknown failure";
+                attempt.failpoint.clear();
+            }
+        }
+        if (k < tries) {
+            retry_counter.add();
+            // min(base << (k-1), 1000) ms; shift clamped so a large
+            // retry count cannot overflow.
+            const std::uint64_t backoff = std::min<std::uint64_t>(
+                static_cast<std::uint64_t>(options.retry_backoff_ms)
+                    << std::min(k - 1, 10u),
+                1000);
+            if (backoff) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff));
+            }
+        }
+    }
+    return attempt;
+}
+
+/** The explicit hole a quarantined or skipped cell leaves behind:
+ *  identity fields set, cycles == 0 (nothing downstream mistakes it
+ *  for data — SweepResult::complete() is false and pipesim skips the
+ *  row). */
+SimResult
+holeResult(const std::string &workload, const PipelineConfig &config)
+{
+    SimResult hole;
+    hole.workload = workload;
+    hole.depth = config.depth;
+    hole.config = config;
+    return hole;
+}
 
 /**
  * Reporter of cell outcomes to the engine's attached manifest (null
@@ -94,7 +193,7 @@ class CellReporter
     void
     operator()(const std::string &workload, int depth,
                ManifestCell::Outcome outcome, double seconds,
-               std::uint64_t instructions) const
+               std::uint64_t instructions, unsigned attempts = 1) const
     {
         if (!manifest_)
             return;
@@ -104,6 +203,7 @@ class CellReporter
         cell.outcome = outcome;
         cell.seconds = seconds;
         cell.instructions = instructions;
+        cell.attempts = attempts;
         manifest_->recordCell(cell);
     }
 
@@ -142,6 +242,9 @@ foldTallies(SweepCounters &c, CellTallies &t, std::uint64_t total)
     c.cache_errors += t.errors.load();
     c.traces_generated += t.traces.load();
     c.instructions_simulated += t.instructions.load();
+    c.cells_retried += t.retried.load();
+    c.cells_quarantined += t.quarantined.load();
+    c.cells_skipped += t.skipped.load();
     c.cell_seconds.insert(c.cell_seconds.end(),
                           t.cell_seconds.begin(),
                           t.cell_seconds.end());
@@ -156,11 +259,16 @@ foldTallies(SweepCounters &c, CellTallies &t, std::uint64_t total)
     static Counter &traces = registry.counter("sweep.trace.generate");
     static Counter &instructions =
         registry.counter("sweep.instructions.simulate");
+    static Counter &quarantined =
+        registry.counter("sweep.cell.quarantine");
+    static Counter &skipped = registry.counter("sweep.cell.skip");
     cells.add(total);
     computed.add(t.computed.load());
     cached.add(t.hits.load());
     traces.add(t.traces.load());
     instructions.add(t.instructions.load());
+    quarantined.add(t.quarantined.load());
+    skipped.add(t.skipped.load());
 }
 
 } // namespace
@@ -179,12 +287,7 @@ std::vector<SweepResult>
 SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
                      const SweepOptions &options)
 {
-    PP_ASSERT(options.min_depth >= 2 && options.max_depth <= 30 &&
-                  options.min_depth < options.max_depth,
-              "bad depth range");
-    PP_ASSERT(options.reference_depth >= options.min_depth &&
-                  options.reference_depth <= options.max_depth,
-              "reference depth outside sweep range");
+    options.validate();
 
     const WallTimer timer(&counters_.wall_seconds);
     const std::size_t n_depths = static_cast<std::size_t>(
@@ -225,10 +328,30 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
             cells.push_back(Cell{s, p});
     }
 
+    {
+        const std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+        if (!checkpoint_path_.empty()) {
+            checkpoint_.cells_total += cells.size();
+            writeCheckpoint(checkpoint_path_, checkpoint_);
+        }
+    }
+
     CellTallies tallies;
     auto runCell = [&](const Cell &cell) -> SimResult {
         const WorkloadSpec &spec = specs[cell.spec];
         const PipelineConfig config = options.configAtDepth(cell.depth);
+
+        // Graceful drain (SIGINT/SIGTERM): cells not yet started
+        // resolve to holes immediately; in-flight cells finish, so
+        // everything already paid for lands in the cache.
+        if (interruptRequested()) {
+            tallies.skipped.fetch_add(1);
+            tallies.recordFailure(
+                cell.spec, FailureRecord{spec.name, cell.depth,
+                                         "skipped: interrupt drain", "",
+                                         0});
+            return holeResult(spec.name, config);
+        }
 
         TELEM_SPAN(span, "sweep.cell");
         span.tag("workload", spec.name);
@@ -246,6 +369,7 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
                 reportCell(spec.name, cell.depth,
                            ManifestCell::Outcome::Cached, 0.0,
                            hit->instructions);
+                noteCellResolved();
                 return std::move(*hit);
             }
             if (corrupt)
@@ -253,32 +377,46 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
         }
 
         SpecReplay &sr = *replays[cell.spec];
-        std::call_once(sr.once, [&]() {
-            TELEM_SPAN(prepare_span, "sweep.trace.prepare");
-            prepare_span.tag("workload", spec.name);
-            sr.replay = prepareReplay(spec.makeTrace(options.trace_length));
-            sr.annotations = annotateReplay(sr.replay, config);
-            tallies.traces.fetch_add(1);
-        });
-
         const auto cell_start = std::chrono::steady_clock::now();
         auto secondsSinceStart = [&cell_start]() {
             return std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - cell_start)
                 .count();
         };
-        // The annotations were built under one cell's config; every
-        // grid cell shares the microarchitectural key (only depth
-        // varies), so this hits the fast path. The fallback keeps
-        // exotic option sets correct rather than fast.
-        SimResult result;
+
+        static Counter &failures =
+            MetricsRegistry::instance().counter("sweep.cell.fail");
+        CellAttempt attempt;
         try {
-            result = sr.annotations.matches(config, sr.replay.size())
-                         ? simulate(sr.replay, sr.annotations, config)
-                         : simulate(sr.replay, config);
+            attempt = runWithRetries(
+                [&]() -> SimResult {
+                    // The retried region: trace preparation and the
+                    // simulation itself, plus the injected per-cell
+                    // fault. call_once leaves the flag unset when the
+                    // preparation throws, so a retry re-prepares.
+                    PP_FAILPOINT("sweep.cell.simulate");
+                    std::call_once(sr.once, [&]() {
+                        TELEM_SPAN(prepare_span, "sweep.trace.prepare");
+                        prepare_span.tag("workload", spec.name);
+                        sr.replay = prepareReplay(
+                            spec.makeTrace(options.trace_length));
+                        sr.annotations = annotateReplay(sr.replay, config);
+                        tallies.traces.fetch_add(1);
+                    });
+                    // The annotations were built under one cell's
+                    // config; every grid cell shares the
+                    // microarchitectural key (only depth varies), so
+                    // this hits the fast path. The fallback keeps
+                    // exotic option sets correct rather than fast.
+                    return sr.annotations.matches(config,
+                                                  sr.replay.size())
+                               ? simulate(sr.replay, sr.annotations,
+                                          config)
+                               : simulate(sr.replay, config);
+                },
+                options_);
         } catch (...) {
-            static Counter &failures = MetricsRegistry::instance().counter(
-                "sweep.cell.fail");
+            // fail_fast: report and let parallelMap propagate.
             failures.add();
             span.tag("outcome", "failed");
             reportCell(spec.name, cell.depth,
@@ -286,21 +424,46 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
                        0);
             throw;
         }
+
+        if (!attempt.ok) {
+            failures.add();
+            tallies.quarantined.fetch_add(1);
+            span.tag("outcome", "quarantined");
+            tallies.recordFailure(
+                cell.spec,
+                FailureRecord{spec.name, cell.depth, attempt.cause,
+                              attempt.failpoint, attempt.attempts});
+            reportCell(spec.name, cell.depth,
+                       ManifestCell::Outcome::Quarantined,
+                       secondsSinceStart(), 0, attempt.attempts);
+            noteCellResolved();
+            return holeResult(spec.name, config);
+        }
+
+        SimResult result = std::move(attempt.result);
         const double cell_seconds = secondsSinceStart();
         span.tag("outcome", "computed");
+        if (attempt.attempts > 1)
+            tallies.retried.fetch_add(1);
         tallies.recordCellSeconds(cell_seconds);
         tallies.computed.fetch_add(1);
         tallies.instructions.fetch_add(result.instructions);
         reportCell(spec.name, cell.depth, ManifestCell::Outcome::Computed,
-                   cell_seconds, result.instructions);
+                   cell_seconds, result.instructions, attempt.attempts);
         if (cache_.enabled() && cache_.store(key, result))
             tallies.stores.fetch_add(1);
+        noteCellResolved();
         return result;
     };
 
     std::vector<SimResult> flat =
         parallelMap(cells, runCell, options_.threads, options_.chunk);
     foldTallies(counters_, tallies, cells.size());
+    last_failures_.clear();
+    for (const auto &[s, record] : tallies.failures) {
+        (void)s;
+        last_failures_.push_back(record);
+    }
 
     TELEM_SPAN(assemble_span, "sweep.assemble");
     std::vector<SweepResult> out;
@@ -309,18 +472,28 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
         SweepResult sweep{specs[s], options, {},
                           ActivityPowerModel(UnitPowerFactors::defaults(),
                                              options.p_d, 0.0),
-                          MachineParams{}};
+                          MachineParams{},
+                          {}};
         const auto begin =
             flat.begin() + static_cast<std::ptrdiff_t>(s * n_depths);
         sweep.runs.assign(std::make_move_iterator(begin),
                           std::make_move_iterator(
                               begin + static_cast<std::ptrdiff_t>(n_depths)));
+        for (const auto &[fs, record] : tallies.failures) {
+            if (fs == s)
+                sweep.failures.push_back(record);
+        }
 
         const SimResult &reference = sweep.runs[static_cast<std::size_t>(
             options.reference_depth - options.min_depth)];
-        sweep.power_model = sweep.power_model.withLeakageFraction(
-            reference, options.leakage_fraction);
-        sweep.extracted = extractMachineParams(reference);
+        // A quarantined/skipped reference cell (cycles == 0) has
+        // nothing to calibrate against; leave the defaults and let
+        // the caller see the hole through sweep.failures.
+        if (reference.cycles != 0) {
+            sweep.power_model = sweep.power_model.withLeakageFraction(
+                reference, options.leakage_fraction);
+            sweep.extracted = extractMachineParams(reference);
+        }
         out.push_back(std::move(sweep));
     }
     return out;
@@ -344,6 +517,14 @@ SweepEngine::runConfigs(const Trace &trace,
     grid_span.tag("configs", static_cast<std::uint64_t>(configs.size()));
     const CellReporter reportCell(manifest_);
 
+    {
+        const std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+        if (!checkpoint_path_.empty()) {
+            checkpoint_.cells_total += configs.size();
+            writeCheckpoint(checkpoint_path_, checkpoint_);
+        }
+    }
+
     // Prepared on first cache miss, shared by every config after.
     std::once_flag replay_once;
     ReplayBuffer replay;
@@ -351,6 +532,14 @@ SweepEngine::runConfigs(const Trace &trace,
 
     CellTallies tallies;
     auto runCell = [&](const PipelineConfig &config) -> SimResult {
+        if (interruptRequested()) {
+            tallies.skipped.fetch_add(1);
+            tallies.recordFailure(
+                0, FailureRecord{trace.name, config.depth,
+                                 "skipped: interrupt drain", "", 0});
+            return holeResult(trace.name, config);
+        }
+
         TELEM_SPAN(span, "sweep.cell");
         span.tag("workload", trace.name);
         span.tag("depth", config.depth);
@@ -367,17 +556,12 @@ SweepEngine::runConfigs(const Trace &trace,
                 reportCell(trace.name, config.depth,
                            ManifestCell::Outcome::Cached, 0.0,
                            hit->instructions);
+                noteCellResolved();
                 return std::move(*hit);
             }
             if (corrupt)
                 tallies.errors.fetch_add(1);
         }
-        std::call_once(replay_once, [&]() {
-            TELEM_SPAN(prepare_span, "sweep.trace.prepare");
-            prepare_span.tag("workload", trace.name);
-            replay = prepareReplay(trace);
-            annotations = annotateReplay(replay, config);
-        });
 
         const auto cell_start = std::chrono::steady_clock::now();
         auto secondsSinceStart = [&cell_start]() {
@@ -385,17 +569,30 @@ SweepEngine::runConfigs(const Trace &trace,
                        std::chrono::steady_clock::now() - cell_start)
                 .count();
         };
-        // Configs here may differ in more than depth; the annotated
-        // fast path only applies when the microarchitectural key of
-        // this config matches the one the annotations were built for.
-        SimResult result;
+
+        static Counter &failures =
+            MetricsRegistry::instance().counter("sweep.cell.fail");
+        CellAttempt attempt;
         try {
-            result = annotations.matches(config, replay.size())
-                         ? simulate(replay, annotations, config)
-                         : simulate(replay, config);
+            attempt = runWithRetries(
+                [&]() -> SimResult {
+                    PP_FAILPOINT("sweep.cell.simulate");
+                    std::call_once(replay_once, [&]() {
+                        TELEM_SPAN(prepare_span, "sweep.trace.prepare");
+                        prepare_span.tag("workload", trace.name);
+                        replay = prepareReplay(trace);
+                        annotations = annotateReplay(replay, config);
+                    });
+                    // Configs here may differ in more than depth; the
+                    // annotated fast path only applies when the
+                    // microarchitectural key of this config matches
+                    // the one the annotations were built for.
+                    return annotations.matches(config, replay.size())
+                               ? simulate(replay, annotations, config)
+                               : simulate(replay, config);
+                },
+                options_);
         } catch (...) {
-            static Counter &failures = MetricsRegistry::instance().counter(
-                "sweep.cell.fail");
             failures.add();
             span.tag("outcome", "failed");
             reportCell(trace.name, config.depth,
@@ -403,23 +600,76 @@ SweepEngine::runConfigs(const Trace &trace,
                        0);
             throw;
         }
+
+        if (!attempt.ok) {
+            failures.add();
+            tallies.quarantined.fetch_add(1);
+            span.tag("outcome", "quarantined");
+            tallies.recordFailure(
+                0, FailureRecord{trace.name, config.depth, attempt.cause,
+                                 attempt.failpoint, attempt.attempts});
+            reportCell(trace.name, config.depth,
+                       ManifestCell::Outcome::Quarantined,
+                       secondsSinceStart(), 0, attempt.attempts);
+            noteCellResolved();
+            return holeResult(trace.name, config);
+        }
+
+        SimResult result = std::move(attempt.result);
         const double cell_seconds = secondsSinceStart();
         span.tag("outcome", "computed");
+        if (attempt.attempts > 1)
+            tallies.retried.fetch_add(1);
         tallies.recordCellSeconds(cell_seconds);
         tallies.computed.fetch_add(1);
         tallies.instructions.fetch_add(result.instructions);
         reportCell(trace.name, config.depth,
                    ManifestCell::Outcome::Computed, cell_seconds,
-                   result.instructions);
+                   result.instructions, attempt.attempts);
         if (cache_.enabled() && cache_.store(key, result))
             tallies.stores.fetch_add(1);
+        noteCellResolved();
         return result;
     };
 
     std::vector<SimResult> out =
         parallelMap(configs, runCell, options_.threads, options_.chunk);
     foldTallies(counters_, tallies, configs.size());
+    last_failures_.clear();
+    for (const auto &[s, record] : tallies.failures) {
+        (void)s;
+        last_failures_.push_back(record);
+    }
     return out;
+}
+
+void
+SweepEngine::attachCheckpoint(const std::string &path,
+                              SweepCheckpoint prototype)
+{
+    const std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    checkpoint_path_ = path;
+    checkpoint_ = std::move(prototype);
+}
+
+void
+SweepEngine::finalizeCheckpoint(const std::string &status)
+{
+    const std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    if (checkpoint_path_.empty())
+        return;
+    checkpoint_.status = status;
+    writeCheckpoint(checkpoint_path_, checkpoint_);
+}
+
+void
+SweepEngine::noteCellResolved()
+{
+    const std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    if (checkpoint_path_.empty())
+        return;
+    ++checkpoint_.cells_done;
+    writeCheckpoint(checkpoint_path_, checkpoint_);
 }
 
 void
@@ -433,6 +683,9 @@ SweepEngine::printSummary(std::ostream &os) const
     t.addColumn("hit_pct", 1);
     t.addColumn("stored", 0);
     t.addColumn("corrupt", 0);
+    t.addColumn("retried", 0);
+    t.addColumn("quar", 0);
+    t.addColumn("skip", 0);
     t.addColumn("traces", 0);
     t.addColumn("Minstr", 1);
     t.addColumn("wall_s", 2);
@@ -447,6 +700,9 @@ SweepEngine::printSummary(std::ostream &os) const
     t.cell(100.0 * c.hitRate());
     t.cell(static_cast<unsigned long>(c.cache_stores));
     t.cell(static_cast<unsigned long>(c.cache_errors));
+    t.cell(static_cast<unsigned long>(c.cells_retried));
+    t.cell(static_cast<unsigned long>(c.cells_quarantined));
+    t.cell(static_cast<unsigned long>(c.cells_skipped));
     t.cell(static_cast<unsigned long>(c.traces_generated));
     t.cell(static_cast<double>(c.instructions_simulated) / 1e6);
     t.cell(c.wall_seconds);

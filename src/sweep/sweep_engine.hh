@@ -28,9 +28,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "sweep/checkpoint.hh"
 #include "sweep/depth_sweep.hh"
 #include "sweep/result_cache.hh"
 
@@ -53,6 +55,27 @@ struct SweepEngineOptions
      */
     bool use_cache = true;
     std::string cache_dir;
+
+    /// @name Failure isolation (docs/RELIABILITY.md)
+    /// @{
+    /**
+     * Extra attempts for a cell whose simulation throws. After
+     * 1 + max_retries failures the cell is *quarantined*: the sweep
+     * completes around it, the hole is a default SimResult
+     * (cycles == 0) and a FailureRecord in SweepResult::failures.
+     */
+    unsigned max_retries = 2;
+    /**
+     * Base of the bounded exponential backoff between attempts:
+     * attempt k waits min(retry_backoff_ms << (k-1), 1000) ms.
+     */
+    unsigned retry_backoff_ms = 10;
+    /**
+     * Legacy abort-on-first-failure semantics: rethrow the cell's
+     * exception out of the engine instead of retrying/quarantining.
+     */
+    bool fail_fast = false;
+    /// @}
 };
 
 /** What a sweep (or a lifetime of sweeps) did. */
@@ -65,6 +88,9 @@ struct SweepCounters
     std::uint64_t cache_errors = 0;   //!< corrupt entries recomputed
     std::uint64_t traces_generated = 0;
     std::uint64_t instructions_simulated = 0;
+    std::uint64_t cells_retried = 0;     //!< resolved on attempt > 1
+    std::uint64_t cells_quarantined = 0; //!< exhausted retries (holes)
+    std::uint64_t cells_skipped = 0;     //!< unstarted at interrupt drain
     double wall_seconds = 0.0;
 
     /**
@@ -133,6 +159,29 @@ class SweepEngine
      */
     void attachManifest(RunManifest *manifest) { manifest_ = manifest; }
 
+    /**
+     * Journal sweep progress to checkpoint file @p path: @p prototype
+     * (tool, argv, config_hash) is written with updated cell counts
+     * after every resolved cell, atomically (checkpoint.hh). Call
+     * finalizeCheckpoint() when the run ends.
+     */
+    void attachCheckpoint(const std::string &path,
+                          SweepCheckpoint prototype);
+
+    /** Write the checkpoint one last time with @p status. */
+    void finalizeCheckpoint(const std::string &status);
+
+    /**
+     * FailureRecords of the most recent runGrid/runSweep/runConfigs
+     * call (empty when every cell resolved). runGrid distributes the
+     * same records into each SweepResult::failures; this accessor is
+     * for runConfigs, which has no SweepResult.
+     */
+    const std::vector<FailureRecord> &lastFailures() const
+    {
+        return last_failures_;
+    }
+
     /** Snapshot of the lifetime counters. */
     SweepCounters counters() const { return counters_; }
 
@@ -145,10 +194,18 @@ class SweepEngine
     void printSummary(std::ostream &os) const;
 
   private:
+    /** Bump the checkpoint's done count and rewrite it (no-op when
+     *  detached). Safe from concurrent sweep workers. */
+    void noteCellResolved();
+
     SweepEngineOptions options_;
     ResultCache cache_;
     SweepCounters counters_;
     RunManifest *manifest_ = nullptr;
+    std::vector<FailureRecord> last_failures_;
+    std::mutex checkpoint_mutex_;
+    std::string checkpoint_path_;
+    SweepCheckpoint checkpoint_;
 };
 
 } // namespace pipedepth

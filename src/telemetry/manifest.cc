@@ -3,6 +3,7 @@
 #include <ctime>
 #include <sstream>
 
+#include "common/failpoint.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "telemetry/build_info.hh"
@@ -52,6 +53,8 @@ manifestOutcomeName(ManifestCell::Outcome outcome)
         return "cached";
       case ManifestCell::Outcome::Failed:
         return "failed";
+      case ManifestCell::Outcome::Quarantined:
+        return "quarantined";
     }
     return "computed";
 }
@@ -70,6 +73,13 @@ RunManifest::setArgv(int argc, const char *const *argv)
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     argv_.assign(argv, argv + argc);
+}
+
+void
+RunManifest::setStatus(const std::string &status)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    status_ = status;
 }
 
 void
@@ -104,6 +114,10 @@ RunManifest::event(
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!events_open_)
         return;
+    // Injected event-write fault: drop the line, exactly like a full
+    // disk would — the stream is advisory, the run must not care.
+    if (PP_FAILPOINT_FIRED("manifest.event"))
+        return;
     events_ << "{\"ts_us\":" << SpanTracer::nowMicros()
             << ",\"type\":" << jsonQuote(type);
     for (const auto &[key, value] : fields)
@@ -124,7 +138,8 @@ RunManifest::recordCell(const ManifestCell &cell)
                    {"depth", std::to_string(cell.depth)},
                    {"outcome", manifestOutcomeName(cell.outcome)},
                    {"seconds", jsonNumber(cell.seconds)},
-                   {"instructions", std::to_string(cell.instructions)}});
+                   {"instructions", std::to_string(cell.instructions)},
+                   {"attempts", std::to_string(cell.attempts)}});
 }
 
 std::string
@@ -142,6 +157,7 @@ RunManifest::toJson() const
     os << "{\n";
     os << "  \"schema_version\": " << kSchemaVersion << ",\n";
     os << "  \"tool\": " << jsonQuote(tool_) << ",\n";
+    os << "  \"status\": " << jsonQuote(status_) << ",\n";
     os << "  \"git\": " << jsonQuote(gitDescribe()) << ",\n";
     os << "  \"created_at\": " << jsonQuote(created_at_) << ",\n";
 
@@ -158,16 +174,25 @@ RunManifest::toJson() const
     os << (meta_.empty() ? "" : "\n  ") << "},\n";
 
     std::uint64_t computed = 0, cached = 0, failed = 0;
+    std::uint64_t retried = 0, quarantined = 0;
     for (const ManifestCell &c : cells_) {
         switch (c.outcome) {
           case ManifestCell::Outcome::Computed: ++computed; break;
           case ManifestCell::Outcome::Cached: ++cached; break;
           case ManifestCell::Outcome::Failed: ++failed; break;
+          case ManifestCell::Outcome::Quarantined: ++quarantined; break;
+        }
+        // "Retried" counts cells that needed more than one attempt,
+        // whatever they resolved to; quarantined cells always did.
+        if (c.attempts > 1 &&
+            c.outcome != ManifestCell::Outcome::Quarantined) {
+            ++retried;
         }
     }
     os << "  \"cell_counts\": {\"total\": " << cells_.size()
        << ", \"computed\": " << computed << ", \"cached\": " << cached
-       << ", \"failed\": " << failed << "},\n";
+       << ", \"failed\": " << failed << ", \"retried\": " << retried
+       << ", \"quarantined\": " << quarantined << "},\n";
 
     os << "  \"cells\": [";
     for (std::size_t i = 0; i < cells_.size(); ++i) {
@@ -176,7 +201,8 @@ RunManifest::toJson() const
            << jsonQuote(c.workload) << ", \"depth\": " << c.depth
            << ", \"outcome\": \"" << manifestOutcomeName(c.outcome)
            << "\", \"seconds\": " << jsonNumber(c.seconds)
-           << ", \"instructions\": " << c.instructions << "}";
+           << ", \"instructions\": " << c.instructions
+           << ", \"attempts\": " << c.attempts << "}";
     }
     os << (cells_.empty() ? "" : "\n  ") << "],\n";
 
@@ -230,8 +256,11 @@ RunManifest::write(const std::string &path)
             events_open_ = false;
         }
     }
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) {
+    // Injected manifest-write fault: same path as an unwritable file.
+    std::ofstream out;
+    if (!PP_FAILPOINT_FIRED("manifest.write"))
+        out.open(path, std::ios::trunc);
+    if (!out.is_open()) {
         PP_WARN("cannot write manifest to '", path, "'");
         return false;
     }
@@ -273,13 +302,17 @@ validateManifest(const JsonValue &manifest, std::string *error)
                        std::to_string(RunManifest::kSchemaVersion));
     }
 
-    for (const char *key : {"tool", "git", "created_at"}) {
+    for (const char *key : {"tool", "git", "created_at", "status"}) {
         const JsonValue *v = manifest.find(key);
         if (!v || !v->isString())
             return failValidation(error,
                                   std::string(key) + " missing or not a "
                                                      "string");
     }
+    const JsonValue *status = manifest.find("status");
+    if (status->string != "complete" && status->string != "interrupted")
+        return failValidation(error, "status must be complete or "
+                                     "interrupted");
 
     const JsonValue *argv = manifest.find("argv");
     if (!argv || !argv->isArray())
@@ -296,7 +329,8 @@ validateManifest(const JsonValue &manifest, std::string *error)
     const JsonValue *counts = manifest.find("cell_counts");
     if (!counts || !counts->isObject())
         return failValidation(error, "cell_counts missing");
-    for (const char *key : {"total", "computed", "cached", "failed"}) {
+    for (const char *key : {"total", "computed", "cached", "failed",
+                            "retried", "quarantined"}) {
         const JsonValue *v = counts->find(key);
         if (!v || !v->isNumber())
             return failValidation(error, std::string("cell_counts.") +
@@ -312,14 +346,18 @@ validateManifest(const JsonValue &manifest, std::string *error)
         const JsonValue *outcome = cell.find("outcome");
         const JsonValue *seconds = cell.find("seconds");
         const JsonValue *instructions = cell.find("instructions");
+        const JsonValue *attempts = cell.find("attempts");
         if (!workload || !workload->isString() || !depth ||
             !depth->isNumber() || !seconds || !seconds->isNumber() ||
-            !instructions || !instructions->isNumber()) {
+            !instructions || !instructions->isNumber() || !attempts ||
+            !attempts->isNumber()) {
             return failValidation(error, "cell entry incomplete");
         }
         if (!outcome || !outcome->isString() ||
             (outcome->string != "computed" &&
-             outcome->string != "cached" && outcome->string != "failed")) {
+             outcome->string != "cached" &&
+             outcome->string != "failed" &&
+             outcome->string != "quarantined")) {
             return failValidation(error, "cell outcome invalid");
         }
     }

@@ -47,9 +47,10 @@ struct ManifestCell
 {
     enum class Outcome
     {
-        Computed, //!< simulated this run
-        Cached,   //!< served from the result cache
-        Failed,   //!< simulation threw
+        Computed,    //!< simulated this run
+        Cached,      //!< served from the result cache
+        Failed,      //!< simulation threw (fail-fast engines)
+        Quarantined, //!< exhausted retries; the grid has a hole here
     };
 
     std::string workload;
@@ -57,9 +58,13 @@ struct ManifestCell
     Outcome outcome = Outcome::Computed;
     double seconds = 0.0; //!< wall time of the cell (0 for cached)
     std::uint64_t instructions = 0;
+    unsigned attempts = 1; //!< tries made (> 1 means the cell retried)
 };
 
-/** Stable wire name of a cell outcome ("computed"/"cached"/"failed"). */
+/**
+ * Stable wire name of a cell outcome
+ * ("computed"/"cached"/"failed"/"quarantined").
+ */
 const char *manifestOutcomeName(ManifestCell::Outcome outcome);
 
 class RunManifest
@@ -69,13 +74,25 @@ class RunManifest
      * Version of the manifest.json schema. Bump on any change that
      * removes or re-types a field; readers reject other versions
      * (validateManifest).
+     *
+     * v2: added run `status` ("complete"/"interrupted"), per-cell
+     * `attempts`, the "quarantined" outcome, and the `retried` /
+     * `quarantined` cell counts (docs/RELIABILITY.md).
      */
-    static constexpr int kSchemaVersion = 1;
+    static constexpr int kSchemaVersion = 2;
 
     RunManifest();
 
     void setTool(const std::string &name);
     void setArgv(int argc, const char *const *argv);
+
+    /**
+     * Run status written into the manifest: "complete" (default) or
+     * "interrupted" (graceful drain after SIGINT/SIGTERM — the cells
+     * list then covers only the cells that resolved before the
+     * drain).
+     */
+    void setStatus(const std::string &status);
 
     /** Append a metadata key/value (kept in insertion order). */
     void addMeta(const std::string &key, const std::string &value);
@@ -115,6 +132,7 @@ class RunManifest
   private:
     mutable std::mutex mutex_;
     std::string tool_ = "unknown";
+    std::string status_ = "complete";
     std::vector<std::string> argv_;
     std::vector<std::pair<std::string, std::string>> meta_;
     std::vector<ManifestCell> cells_;

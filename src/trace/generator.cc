@@ -12,12 +12,25 @@
 namespace pipedepth
 {
 
-void
-TraceGenParams::validate() const
+std::string
+TraceGenParams::validationError() const
 {
-    auto check_frac = [](double v, const char *what) {
+    std::string error;
+    auto fail = [&error](auto &&...parts) {
+        if (error.empty())
+            error = logging_detail::concat(parts...);
+    };
+    // NaN compares false against every bound, so plain range checks
+    // silently wave it through into the generator; reject non-finite
+    // values explicitly, naming the field.
+    auto check_finite = [&](double v, const char *what) {
+        if (!std::isfinite(v))
+            fail(what, " must be finite (got ", v, ")");
+    };
+    auto check_frac = [&](double v, const char *what) {
+        check_finite(v, what);
         if (v < 0.0 || v > 1.0)
-            PP_FATAL(what, " must be in [0, 1] (got ", v, ")");
+            fail(what, " must be in [0, 1] (got ", v, ")");
     };
     check_frac(frac_load, "frac_load");
     check_frac(frac_store, "frac_store");
@@ -27,36 +40,52 @@ TraceGenParams::validate() const
     check_frac(frac_fp, "frac_fp");
     if (frac_load + frac_store + frac_alumem + frac_mul + frac_div +
             frac_fp > 1.0) {
-        PP_FATAL("instruction-mix fractions exceed 1");
+        fail("instruction-mix fractions exceed 1");
     }
+    check_frac(fp_add_share, "fp_add_share");
+    check_frac(fp_mul_share, "fp_mul_share");
+    check_frac(fp_div_share, "fp_div_share");
+    if (fp_add_share + fp_mul_share + fp_div_share > 1.0)
+        fail("FP share fractions exceed 1");
     check_frac(branch_frac, "branch_frac");
     if (branch_frac >= 0.9)
-        PP_FATAL("branch_frac must be < 0.9 (got ", branch_frac, ")");
+        fail("branch_frac must be < 0.9 (got ", branch_frac, ")");
     check_frac(cond_branch_share, "cond_branch_share");
     if (n_blocks < 2)
-        PP_FATAL("need at least 2 basic blocks (got ", n_blocks, ")");
+        fail("need at least 2 basic blocks (got ", n_blocks, ")");
     check_frac(loop_branch_frac, "loop_branch_frac");
     check_frac(periodic_branch_frac, "periodic_branch_frac");
     check_frac(random_branch_frac, "random_branch_frac");
     if (loop_branch_frac + periodic_branch_frac + random_branch_frac > 1.0)
-        PP_FATAL("branch behaviour fractions exceed 1");
+        fail("branch behaviour fractions exceed 1");
+    check_finite(bias_margin_min, "bias_margin_min");
     if (bias_margin_min < 0.0 || bias_margin_min > 0.5)
-        PP_FATAL("bias_margin_min must be in [0, 0.5]");
+        fail("bias_margin_min must be in [0, 0.5]");
     check_frac(biased_taken_share, "biased_taken_share");
     check_frac(backward_frac, "backward_frac");
     if (data_working_set < 4096)
-        PP_FATAL("data working set must be at least 4 KiB");
+        fail("data working set must be at least 4 KiB");
     if (uniform_region_bytes < 64)
-        PP_FATAL("uniform_region_bytes must be at least one line");
+        fail("uniform_region_bytes must be at least one line");
     check_frac(hot_frac, "hot_frac");
     check_frac(stream_frac, "stream_frac");
     if (hot_frac + stream_frac > 1.0)
-        PP_FATAL("memory style fractions exceed 1");
+        fail("memory style fractions exceed 1");
     check_frac(dep_near, "dep_near");
+    check_finite(mean_dep_dist, "mean_dep_dist");
     if (mean_dep_dist < 1.0)
-        PP_FATAL("mean_dep_dist must be >= 1");
+        fail("mean_dep_dist must be >= 1");
     if (length == 0)
-        PP_FATAL("trace length must be positive");
+        fail("trace length must be positive");
+    return error;
+}
+
+void
+TraceGenParams::validate() const
+{
+    const std::string error = validationError();
+    if (!error.empty())
+        PP_FATAL(error);
 }
 
 namespace

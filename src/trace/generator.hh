@@ -97,6 +97,15 @@ struct TraceGenParams
     double mean_dep_dist = 3.0; //!< geometric mean producer distance
     /// @}
 
+    /**
+     * First validation failure as a message naming the offending
+     * field ("" when the parameters are usable). NaN and other
+     * non-finite values are rejected explicitly — they slip through
+     * plain range comparisons. The catalog prefixes this with the
+     * workload name at load time.
+     */
+    std::string validationError() const;
+
     /** Abort (fatal) on out-of-range parameters. */
     void validate() const;
 };

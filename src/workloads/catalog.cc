@@ -236,6 +236,18 @@ buildCatalog()
     for (int i = 0; i < 10; ++i)
         all.push_back(makeSpecFp(i));
     PP_ASSERT(all.size() == 55, "catalog must have 55 workloads");
+
+    // Validate every entry at load, before anything simulates: a NaN
+    // or out-of-range generator parameter (a bad jitter edit, a
+    // corrupted constant) must fail here naming the workload and the
+    // field, not propagate garbage into a 55x24 grid.
+    for (const WorkloadSpec &w : all) {
+        if (w.name.empty())
+            PP_FATAL("catalog entry with empty workload name");
+        const std::string error = w.gen.validationError();
+        if (!error.empty())
+            PP_FATAL("workload '", w.name, "': ", error);
+    }
     return all;
 }
 

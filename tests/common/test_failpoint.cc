@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Failpoint framework tests: spec parsing, every firing mode,
+ * determinism of the seeded probability mode, hit/fire accounting,
+ * and the RAII scope guard (docs/RELIABILITY.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/failpoint.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+class FailpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { failpoints::reset(); }
+    void TearDown() override { failpoints::reset(); }
+};
+
+TEST_F(FailpointTest, InactiveByDefault)
+{
+    EXPECT_FALSE(failpoints::anyActive());
+    EXPECT_FALSE(PP_FAILPOINT_FIRED("test.site"));
+    EXPECT_NO_THROW(PP_FAILPOINT("test.site"));
+    // The fast path skips counting entirely when nothing is armed.
+    EXPECT_EQ(failpoints::hitCount("test.site"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryHit)
+{
+    ASSERT_TRUE(failpoints::configure("test.site=always"));
+    EXPECT_TRUE(failpoints::anyActive());
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(PP_FAILPOINT_FIRED("test.site"));
+    EXPECT_EQ(failpoints::hitCount("test.site"), 5u);
+    EXPECT_EQ(failpoints::fireCount("test.site"), 5u);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce)
+{
+    ASSERT_TRUE(failpoints::configure("test.site=once"));
+    EXPECT_TRUE(PP_FAILPOINT_FIRED("test.site"));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(PP_FAILPOINT_FIRED("test.site"));
+    EXPECT_EQ(failpoints::fireCount("test.site"), 1u);
+}
+
+TEST_F(FailpointTest, OffNeverFires)
+{
+    // A second, active site keeps the fast path from short-circuiting
+    // so the off site is actually evaluated (and hit-counted).
+    ASSERT_TRUE(failpoints::configure("test.site=off;other=always"));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(PP_FAILPOINT_FIRED("test.site"));
+    EXPECT_EQ(failpoints::hitCount("test.site"), 4u);
+    EXPECT_EQ(failpoints::fireCount("test.site"), 0u);
+}
+
+TEST_F(FailpointTest, EveryNFiresOnMultiples)
+{
+    ASSERT_TRUE(failpoints::configure("test.site=every:3"));
+    std::vector<bool> fired;
+    for (int i = 0; i < 9; ++i)
+        fired.push_back(PP_FAILPOINT_FIRED("test.site"));
+    const std::vector<bool> expect = {false, false, true,  false, false,
+                                      true,  false, false, true};
+    EXPECT_EQ(fired, expect);
+}
+
+TEST_F(FailpointTest, HitsFiresNamedHitsOnly)
+{
+    ASSERT_TRUE(failpoints::configure("test.site=hits:1,4"));
+    std::vector<bool> fired;
+    for (int i = 0; i < 5; ++i)
+        fired.push_back(PP_FAILPOINT_FIRED("test.site"));
+    const std::vector<bool> expect = {true, false, false, true, false};
+    EXPECT_EQ(fired, expect);
+}
+
+TEST_F(FailpointTest, ThrowingSiteCarriesItsName)
+{
+    ASSERT_TRUE(failpoints::configure("test.throw=once"));
+    try {
+        PP_FAILPOINT("test.throw");
+        FAIL() << "expected FailpointError";
+    } catch (const FailpointError &e) {
+        EXPECT_EQ(e.failpoint(), "test.throw");
+        EXPECT_NE(std::string(e.what()).find("test.throw"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(FailpointTest, ProbabilityModeIsDeterministicPerSeed)
+{
+    auto draw = [](std::uint64_t seed) {
+        failpoints::reset();
+        failpoints::setSeed(seed);
+        EXPECT_TRUE(failpoints::configure("test.p=p:0.5"));
+        std::vector<bool> fired;
+        for (int i = 0; i < 64; ++i)
+            fired.push_back(PP_FAILPOINT_FIRED("test.p"));
+        return fired;
+    };
+    const std::vector<bool> a = draw(42);
+    const std::vector<bool> b = draw(42);
+    const std::vector<bool> c = draw(43);
+    EXPECT_EQ(a, b); // same seed: exact replay
+    EXPECT_NE(a, c); // different seed: different pattern
+    // p=0.5 over 64 draws: both outcomes must occur.
+    EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+    EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST_F(FailpointTest, ProbabilityEndpoints)
+{
+    ASSERT_TRUE(failpoints::configure("test.p0=p:0;test.p1=p:1"));
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_FALSE(PP_FAILPOINT_FIRED("test.p0"));
+        EXPECT_TRUE(PP_FAILPOINT_FIRED("test.p1"));
+    }
+}
+
+TEST_F(FailpointTest, MultiSiteSpecArmsIndependently)
+{
+    ASSERT_TRUE(
+        failpoints::configure("site.a=once;site.b=always;site.c=off"));
+    EXPECT_TRUE(PP_FAILPOINT_FIRED("site.a"));
+    EXPECT_FALSE(PP_FAILPOINT_FIRED("site.a"));
+    EXPECT_TRUE(PP_FAILPOINT_FIRED("site.b"));
+    EXPECT_TRUE(PP_FAILPOINT_FIRED("site.b"));
+    EXPECT_FALSE(PP_FAILPOINT_FIRED("site.c"));
+}
+
+TEST_F(FailpointTest, MalformedSpecsRejectedWithReason)
+{
+    std::string error;
+    EXPECT_FALSE(failpoints::configure("nosign", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(failpoints::configure("a=unknownmode", &error));
+    EXPECT_FALSE(failpoints::configure("a=every:0", &error));
+    EXPECT_FALSE(failpoints::configure("a=every:x", &error));
+    EXPECT_FALSE(failpoints::configure("a=hits:", &error));
+    EXPECT_FALSE(failpoints::configure("a=p:2", &error));
+    EXPECT_FALSE(failpoints::configure("a=p:-1", &error));
+    EXPECT_FALSE(failpoints::configure("=always", &error));
+}
+
+TEST_F(FailpointTest, ResetDisarmsAndZeroesCounts)
+{
+    ASSERT_TRUE(failpoints::configure("test.site=always"));
+    EXPECT_TRUE(PP_FAILPOINT_FIRED("test.site"));
+    failpoints::reset();
+    EXPECT_FALSE(failpoints::anyActive());
+    EXPECT_FALSE(PP_FAILPOINT_FIRED("test.site"));
+    EXPECT_EQ(failpoints::hitCount("test.site"), 0u);
+    EXPECT_EQ(failpoints::fireCount("test.site"), 0u);
+}
+
+TEST_F(FailpointTest, ScopedGuardArmsAndDisarms)
+{
+    {
+        ScopedFailpoints guard("test.site=always");
+        EXPECT_TRUE(PP_FAILPOINT_FIRED("test.site"));
+    }
+    EXPECT_FALSE(failpoints::anyActive());
+    EXPECT_FALSE(PP_FAILPOINT_FIRED("test.site"));
+    EXPECT_THROW(ScopedFailpoints bad("not a spec"),
+                 std::invalid_argument);
+}
+
+TEST_F(FailpointTest, EnvironmentConfigurationApplies)
+{
+    ::setenv("PIPEDEPTH_FAILPOINTS", "env.site=once", 1);
+    ::setenv("PIPEDEPTH_FAILPOINT_SEED", "7", 1);
+    failpoints::configureFromEnv();
+    EXPECT_TRUE(PP_FAILPOINT_FIRED("env.site"));
+    EXPECT_FALSE(PP_FAILPOINT_FIRED("env.site"));
+    ::unsetenv("PIPEDEPTH_FAILPOINTS");
+    ::unsetenv("PIPEDEPTH_FAILPOINT_SEED");
+}
+
+} // namespace
+} // namespace pipedepth

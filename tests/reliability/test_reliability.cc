@@ -1,0 +1,662 @@
+/**
+ * @file
+ * Reliability suite (docs/RELIABILITY.md): retry and quarantine
+ * semantics of the sweep engine under injected faults, cache I/O
+ * degradation paths, checkpoint round-trips, interrupt drain, the
+ * concurrent-writer torn-entry guarantee, and — through the real
+ * pipesim binary — kill-and-resume byte-identity and the graceful
+ * SIGTERM drain.
+ *
+ * Everything here is driven by the deterministic failpoint framework
+ * (common/failpoint.hh); no test depends on timing except where a
+ * subprocess is killed mid-run, and those accept the benign race of
+ * the run finishing first.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/failpoint.hh"
+#include "common/interrupt.hh"
+#include "common/json.hh"
+#include "sweep/checkpoint.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/sweep_engine.hh"
+#include "telemetry/manifest.hh"
+#include "workloads/catalog.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+SweepOptions
+fastOptions()
+{
+    SweepOptions opt;
+    opt.min_depth = 2;
+    opt.max_depth = 6;
+    opt.reference_depth = 4;
+    opt.trace_length = 20000;
+    opt.warmup_instructions = 5000;
+    return opt;
+}
+
+std::size_t
+cellCount(const SweepOptions &opt)
+{
+    return static_cast<std::size_t>(opt.max_depth - opt.min_depth + 1);
+}
+
+/** Private temp dir per test; failpoints and interrupts cleared. */
+class ReliabilityTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        failpoints::reset();
+        clearInterruptRequest();
+        dir_ = std::filesystem::path(::testing::TempDir()) /
+               ("pipedepth-rel-" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        failpoints::reset();
+        clearInterruptRequest();
+        std::filesystem::remove_all(dir_);
+    }
+
+    SweepEngine
+    makeEngine(bool use_cache, unsigned max_retries = 2)
+    {
+        SweepEngineOptions opt;
+        opt.use_cache = use_cache;
+        opt.cache_dir = (dir_ / "cache").string();
+        opt.max_retries = max_retries;
+        opt.retry_backoff_ms = 0; // keep tests fast
+        return SweepEngine(opt);
+    }
+
+    std::size_t
+    cacheEntryCount() const
+    {
+        const auto cache = dir_ / "cache";
+        if (!std::filesystem::exists(cache))
+            return 0;
+        std::size_t n = 0;
+        for (const auto &e : std::filesystem::directory_iterator(cache))
+            n += e.path().extension() == ".simres" ? 1 : 0;
+        return n;
+    }
+
+    std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------------
+// Retry and quarantine
+
+TEST_F(ReliabilityTest, TransientFaultRetriesToIdenticalResult)
+{
+    const WorkloadSpec spec = findWorkload("db1");
+    const SweepOptions opt = fastOptions();
+
+    SweepEngine clean = makeEngine(false);
+    const SweepResult want = clean.runSweep(spec, opt);
+    ASSERT_TRUE(want.complete());
+
+    // One injected fault: the first simulated cell fails once, then
+    // succeeds on retry. The grid must come out byte-identical.
+    ScopedFailpoints guard("sweep.cell.simulate=once");
+    SweepEngine engine = makeEngine(false);
+    const SweepResult got = engine.runSweep(spec, opt);
+
+    EXPECT_TRUE(got.complete());
+    const SweepCounters c = engine.counters();
+    EXPECT_EQ(c.cells_retried, 1u);
+    EXPECT_EQ(c.cells_quarantined, 0u);
+    ASSERT_EQ(got.runs.size(), want.runs.size());
+    for (std::size_t i = 0; i < want.runs.size(); ++i) {
+        EXPECT_EQ(serializeSimResult(got.runs[i]),
+                  serializeSimResult(want.runs[i]))
+            << "depth " << want.runs[i].depth;
+    }
+}
+
+TEST_F(ReliabilityTest, ExhaustedRetriesQuarantineWithExplicitHoles)
+{
+    const WorkloadSpec spec = findWorkload("db1");
+    const SweepOptions opt = fastOptions();
+    const unsigned max_retries = 2;
+
+    ScopedFailpoints guard("sweep.cell.simulate=always");
+    SweepEngine engine = makeEngine(false, max_retries);
+    const SweepResult sweep = engine.runSweep(spec, opt);
+
+    // The sweep completed — no exception — but every cell is a hole.
+    EXPECT_FALSE(sweep.complete());
+    ASSERT_EQ(sweep.failures.size(), cellCount(opt));
+    for (const FailureRecord &f : sweep.failures) {
+        EXPECT_EQ(f.workload, "db1");
+        EXPECT_EQ(f.failpoint, "sweep.cell.simulate");
+        EXPECT_EQ(f.attempts, 1 + max_retries);
+        EXPECT_NE(f.cause.find("sweep.cell.simulate"),
+                  std::string::npos);
+    }
+    ASSERT_EQ(sweep.runs.size(), cellCount(opt));
+    for (const SimResult &r : sweep.runs) {
+        EXPECT_EQ(r.cycles, 0u); // the hole marker
+        EXPECT_EQ(r.workload, "db1");
+    }
+    const SweepCounters c = engine.counters();
+    EXPECT_EQ(c.cells_quarantined, cellCount(opt));
+    EXPECT_EQ(c.cells_computed, 0u);
+}
+
+TEST_F(ReliabilityTest, QuarantinedCellsAreNeverCached)
+{
+    ScopedFailpoints guard("sweep.cell.simulate=always");
+    SweepEngine engine = makeEngine(true, 0);
+    const SweepResult sweep =
+        engine.runSweep(findWorkload("db1"), fastOptions());
+    EXPECT_FALSE(sweep.complete());
+    EXPECT_EQ(cacheEntryCount(), 0u);
+}
+
+TEST_F(ReliabilityTest, PartialQuarantineKeepsOtherCellsLive)
+{
+    // Fail only the first attempted cell, with no retries: exactly
+    // one hole, every other cell computes normally.
+    ScopedFailpoints guard("sweep.cell.simulate=once");
+    SweepEngine engine = makeEngine(false, 0);
+    const SweepOptions opt = fastOptions();
+    const SweepResult sweep = engine.runSweep(findWorkload("db1"), opt);
+
+    EXPECT_FALSE(sweep.complete());
+    ASSERT_EQ(sweep.failures.size(), 1u);
+    std::size_t holes = 0;
+    for (const SimResult &r : sweep.runs)
+        holes += r.cycles == 0 ? 1 : 0;
+    EXPECT_EQ(holes, 1u);
+    EXPECT_EQ(engine.counters().cells_computed, cellCount(opt) - 1);
+}
+
+TEST_F(ReliabilityTest, FailFastStillPropagates)
+{
+    ScopedFailpoints guard("sweep.cell.simulate=always");
+    SweepEngineOptions eopt;
+    eopt.use_cache = false;
+    eopt.fail_fast = true;
+    SweepEngine engine(eopt);
+    EXPECT_THROW(engine.runSweep(findWorkload("db1"), fastOptions()),
+                 FailpointError);
+}
+
+// ---------------------------------------------------------------------
+// Cache I/O degradation
+
+TEST_F(ReliabilityTest, StoreWriteFaultDegradesToUncached)
+{
+    const WorkloadSpec spec = findWorkload("db1");
+    const SweepOptions opt = fastOptions();
+    {
+        ScopedFailpoints guard("cache.store.write=always");
+        SweepEngine engine = makeEngine(true);
+        const SweepResult sweep = engine.runSweep(spec, opt);
+        EXPECT_TRUE(sweep.complete()); // a cache fault is not a cell fault
+        EXPECT_EQ(engine.counters().cache_stores, 0u);
+        EXPECT_EQ(cacheEntryCount(), 0u);
+    }
+    // No torn temp files left behind either.
+    std::size_t leftovers = 0;
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir_ / "cache"))
+        leftovers += e.path().string().find(".tmp.") != std::string::npos;
+    EXPECT_EQ(leftovers, 0u);
+}
+
+TEST_F(ReliabilityTest, StoreRenameFaultLeavesNoEntry)
+{
+    ScopedFailpoints guard("cache.store.rename=always");
+    SweepEngine engine = makeEngine(true);
+    const SweepResult sweep =
+        engine.runSweep(findWorkload("db1"), fastOptions());
+    EXPECT_TRUE(sweep.complete());
+    EXPECT_EQ(engine.counters().cache_stores, 0u);
+    EXPECT_EQ(cacheEntryCount(), 0u);
+}
+
+TEST_F(ReliabilityTest, LoadFaultRecomputesIdentically)
+{
+    const WorkloadSpec spec = findWorkload("db1");
+    const SweepOptions opt = fastOptions();
+
+    SweepEngine warm = makeEngine(true);
+    const SweepResult want = warm.runSweep(spec, opt);
+    ASSERT_EQ(cacheEntryCount(), cellCount(opt));
+
+    // Every probe fails: the warm cache behaves as cold, and the
+    // recomputed grid matches the cached one byte for byte.
+    ScopedFailpoints guard("cache.load.read=always");
+    SweepEngine engine = makeEngine(true);
+    const SweepResult got = engine.runSweep(spec, opt);
+    EXPECT_EQ(engine.counters().cache_hits, 0u);
+    EXPECT_EQ(engine.counters().cells_computed, cellCount(opt));
+    for (std::size_t i = 0; i < want.runs.size(); ++i) {
+        EXPECT_EQ(serializeSimResult(got.runs[i]),
+                  serializeSimResult(want.runs[i]));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interrupt drain
+
+TEST_F(ReliabilityTest, InterruptDrainSkipsRemainingCells)
+{
+    requestInterrupt();
+    SweepEngine engine = makeEngine(false);
+    const SweepOptions opt = fastOptions();
+    const SweepResult sweep = engine.runSweep(findWorkload("db1"), opt);
+
+    EXPECT_FALSE(sweep.complete());
+    EXPECT_EQ(engine.counters().cells_skipped, cellCount(opt));
+    EXPECT_EQ(engine.counters().cells_computed, 0u);
+    ASSERT_EQ(sweep.failures.size(), cellCount(opt));
+    for (const FailureRecord &f : sweep.failures) {
+        EXPECT_EQ(f.cause, "skipped: interrupt drain");
+        EXPECT_EQ(f.attempts, 0u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoints
+
+TEST_F(ReliabilityTest, CheckpointRoundTrips)
+{
+    SweepCheckpoint cp;
+    cp.tool = "pipesim";
+    cp.argv = {"pipesim", "--workload", "db1", "--sweep"};
+    cp.config_hash = "deadbeef";
+    cp.status = "interrupted";
+    cp.cells_done = 7;
+    cp.cells_total = 24;
+
+    const std::string path = (dir_ / "sweep.ckpt").string();
+    ASSERT_TRUE(writeCheckpoint(path, cp));
+
+    SweepCheckpoint got;
+    std::string error;
+    ASSERT_TRUE(readCheckpoint(path, &got, &error)) << error;
+    EXPECT_EQ(got.tool, cp.tool);
+    EXPECT_EQ(got.argv, cp.argv);
+    EXPECT_EQ(got.config_hash, cp.config_hash);
+    EXPECT_EQ(got.status, cp.status);
+    EXPECT_EQ(got.cells_done, cp.cells_done);
+    EXPECT_EQ(got.cells_total, cp.cells_total);
+}
+
+TEST_F(ReliabilityTest, CheckpointRejectsGarbage)
+{
+    const std::string path = (dir_ / "bad.ckpt").string();
+    SweepCheckpoint out;
+    std::string error;
+
+    EXPECT_FALSE(readCheckpoint((dir_ / "missing.ckpt").string(), &out,
+                                &error));
+
+    std::ofstream(path) << "not json at all";
+    EXPECT_FALSE(readCheckpoint(path, &out, &error));
+    EXPECT_NE(error.find("malformed"), std::string::npos);
+
+    std::ofstream(path, std::ios::trunc)
+        << "{\"schema_version\": 999, \"tool\": \"pipesim\"}";
+    EXPECT_FALSE(readCheckpoint(path, &out, &error));
+    EXPECT_NE(error.find("schema_version"), std::string::npos);
+
+    std::ofstream(path, std::ios::trunc)
+        << "{\"schema_version\": 1, \"tool\": \"pipesim\", "
+           "\"config_hash\": \"x\", \"status\": \"meditating\", "
+           "\"argv\": [], \"cells_done\": 0, \"cells_total\": 0}";
+    EXPECT_FALSE(readCheckpoint(path, &out, &error));
+    EXPECT_NE(error.find("status"), std::string::npos);
+}
+
+TEST_F(ReliabilityTest, CheckpointWriteFaultIsNonFatal)
+{
+    const std::string path = (dir_ / "faulty.ckpt").string();
+    SweepCheckpoint cp;
+    cp.tool = "pipesim";
+    {
+        ScopedFailpoints guard("checkpoint.write=always");
+        EXPECT_FALSE(writeCheckpoint(path, cp));
+    }
+    EXPECT_FALSE(std::filesystem::exists(path));
+
+    // An engine journalling through a faulty checkpoint still sweeps.
+    ScopedFailpoints guard("checkpoint.write=always");
+    SweepEngine engine = makeEngine(false);
+    SweepCheckpoint proto;
+    proto.tool = "test";
+    engine.attachCheckpoint(path, proto);
+    const SweepResult sweep =
+        engine.runSweep(findWorkload("db1"), fastOptions());
+    EXPECT_TRUE(sweep.complete());
+}
+
+TEST_F(ReliabilityTest, EngineJournalsProgressThroughCheckpoint)
+{
+    const std::string path = (dir_ / "progress.ckpt").string();
+    SweepEngine engine = makeEngine(false);
+    SweepCheckpoint proto;
+    proto.tool = "test";
+    proto.argv = {"test"};
+    proto.config_hash = "h";
+    engine.attachCheckpoint(path, proto);
+
+    const SweepOptions opt = fastOptions();
+    engine.runSweep(findWorkload("db1"), opt);
+    engine.finalizeCheckpoint("complete");
+
+    SweepCheckpoint got;
+    std::string error;
+    ASSERT_TRUE(readCheckpoint(path, &got, &error)) << error;
+    EXPECT_EQ(got.status, "complete");
+    EXPECT_EQ(got.cells_done, cellCount(opt));
+    EXPECT_EQ(got.cells_total, cellCount(opt));
+}
+
+// ---------------------------------------------------------------------
+// Manifest v2
+
+TEST_F(ReliabilityTest, ManifestEnumeratesQuarantinedHoles)
+{
+    const SweepOptions opt = fastOptions();
+    RunManifest manifest;
+    manifest.setTool("test_reliability");
+
+    ScopedFailpoints guard("sweep.cell.simulate=always");
+    SweepEngine engine = makeEngine(false, 1);
+    engine.attachManifest(&manifest);
+    engine.runSweep(findWorkload("db1"), opt);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(manifest.toJson(), &doc, &error))
+        << error;
+    ASSERT_TRUE(validateManifest(doc, &error)) << error;
+
+    EXPECT_EQ(doc.find("status")->string, "complete");
+    const JsonValue *counts = doc.find("cell_counts");
+    EXPECT_EQ(counts->find("quarantined")->number,
+              static_cast<double>(cellCount(opt)));
+    EXPECT_EQ(counts->find("computed")->number, 0.0);
+    for (const JsonValue &cell : doc.find("cells")->array) {
+        EXPECT_EQ(cell.find("outcome")->string, "quarantined");
+        EXPECT_EQ(cell.find("attempts")->number, 2.0); // 1 + 1 retry
+    }
+}
+
+TEST_F(ReliabilityTest, ManifestCountsRetriedCells)
+{
+    RunManifest manifest;
+    manifest.setTool("test_reliability");
+
+    ScopedFailpoints guard("sweep.cell.simulate=once");
+    SweepEngine engine = makeEngine(false);
+    engine.attachManifest(&manifest);
+    engine.runSweep(findWorkload("db1"), fastOptions());
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(manifest.toJson(), &doc, &error));
+    ASSERT_TRUE(validateManifest(doc, &error)) << error;
+    EXPECT_EQ(doc.find("cell_counts")->find("retried")->number, 1.0);
+    EXPECT_EQ(doc.find("cell_counts")->find("quarantined")->number, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent writers under injected faults
+
+TEST_F(ReliabilityTest, ConcurrentFaultyWritersNeverExposeTornEntry)
+{
+    const WorkloadSpec spec = findWorkload("db1");
+    const SweepOptions opt = fastOptions();
+    SweepEngine source = makeEngine(false);
+    // All writers hammer the depth-2 entry of this sweep.
+    const SimResult result = source.runSweep(spec, opt).runs.front();
+    const CacheKey key =
+        simCellKey(spec, opt.trace_length, opt.configAtDepth(2));
+
+    const std::string cache_dir = (dir_ / "cache").string();
+    constexpr int kWriters = 4;
+    constexpr int kStoresPerWriter = 25;
+
+    std::vector<pid_t> children;
+    for (int w = 0; w < kWriters; ++w) {
+        const pid_t pid = fork();
+        ASSERT_NE(pid, -1);
+        if (pid == 0) {
+            // Child: hammer the same key with stores, each write or
+            // rename failing with seeded probability 0.5.
+            failpoints::reset();
+            failpoints::setSeed(1000 + static_cast<std::uint64_t>(w));
+            failpoints::configure(
+                "cache.store.write=p:0.5;cache.store.rename=p:0.5");
+            const ResultCache cache(cache_dir);
+            for (int i = 0; i < kStoresPerWriter; ++i)
+                cache.store(key, result);
+            ::_exit(0);
+        }
+        children.push_back(pid);
+    }
+
+    // Parent: concurrently probe the entry. Every load must be a
+    // clean hit or a miss — never a corrupt (torn) entry.
+    const ResultCache cache(cache_dir);
+    const std::vector<std::uint8_t> want = serializeSimResult(result);
+    bool any_hit = false;
+    for (int i = 0; i < 2000; ++i) {
+        bool corrupt = false;
+        if (const auto hit = cache.load(key, &corrupt)) {
+            any_hit = true;
+            EXPECT_EQ(serializeSimResult(*hit), want);
+        }
+        EXPECT_FALSE(corrupt) << "torn cache entry became visible";
+    }
+
+    for (const pid_t pid : children) {
+        int status = 0;
+        ASSERT_EQ(waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0);
+    }
+
+    // With p=0.5 over 100 attempts, at least one store landed; the
+    // final state must be the complete entry.
+    bool corrupt = false;
+    const auto final_hit = cache.load(key, &corrupt);
+    ASSERT_TRUE(final_hit.has_value());
+    EXPECT_FALSE(corrupt);
+    EXPECT_EQ(serializeSimResult(*final_hit), want);
+    EXPECT_TRUE(any_hit || final_hit.has_value());
+}
+
+// ---------------------------------------------------------------------
+// Kill and resume through the real binary
+
+int
+runShell(const std::string &cmd)
+{
+    const int rc = std::system(cmd.c_str());
+    if (rc == -1)
+        return -1;
+    if (WIFEXITED(rc))
+        return WEXITSTATUS(rc);
+    if (WIFSIGNALED(rc))
+        return 128 + WTERMSIG(rc);
+    return -1;
+}
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST_F(ReliabilityTest, KillAndResumeYieldsByteIdenticalGrid)
+{
+    const std::string sweep_args =
+        "--workload db1 --sweep --csv --length 60000 --warmup 10000 "
+        "--threads 2";
+    const std::filesystem::path ref_out = dir_ / "reference.csv";
+    const std::filesystem::path res_out = dir_ / "resumed.csv";
+    const std::filesystem::path ckpt = dir_ / "sweep.ckpt";
+
+    // Reference: the uninterrupted grid (its own cache).
+    ASSERT_EQ(runShell("PIPEDEPTH_CACHE_DIR=" +
+                       (dir_ / "cache-ref").string() + " " +
+                       PIPESIM_PATH + " " + sweep_args + " > " +
+                       ref_out.string() + " 2>/dev/null"),
+              0);
+
+    // Victim: same grid, separate cache, checkpointed — killed with
+    // SIGKILL as soon as the checkpoint shows progress.
+    const std::string victim_cache = (dir_ / "cache-victim").string();
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        ::setenv("PIPEDEPTH_CACHE_DIR", victim_cache.c_str(), 1);
+        // Quiet: the output of the doomed run is irrelevant.
+        std::freopen("/dev/null", "w", stdout);
+        std::freopen("/dev/null", "w", stderr);
+        ::execl(PIPESIM_PATH, PIPESIM_PATH, "--workload", "db1",
+                "--sweep", "--csv", "--length", "60000", "--warmup",
+                "10000", "--threads", "2", "--checkpoint",
+                ckpt.string().c_str(), static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+    // Wait for at least one resolved cell, then kill -9.
+    for (int i = 0; i < 2000; ++i) {
+        SweepCheckpoint cp;
+        if (readCheckpoint(ckpt.string(), &cp) && cp.cells_done >= 1)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+
+    // The checkpoint survived the SIGKILL and is structurally valid
+    // (atomic rename: either the old or the new file, never torn).
+    SweepCheckpoint cp;
+    std::string error;
+    ASSERT_TRUE(readCheckpoint(ckpt.string(), &cp, &error)) << error;
+    EXPECT_EQ(cp.tool, "pipesim");
+
+    // Resume replays the stored argv; cached cells replay, the rest
+    // compute. The final grid must match the reference byte for byte.
+    ASSERT_EQ(runShell("PIPEDEPTH_CACHE_DIR=" + victim_cache + " " +
+                       PIPESIM_PATH + " --resume " + ckpt.string() +
+                       " > " + res_out.string() + " 2>/dev/null"),
+              0);
+    EXPECT_EQ(slurp(res_out), slurp(ref_out));
+
+    // And the checkpoint was finalized with a real grid size.
+    ASSERT_TRUE(readCheckpoint(ckpt.string(), &cp, &error)) << error;
+    EXPECT_EQ(cp.status, "complete");
+    EXPECT_GT(cp.cells_total, 0u);
+    EXPECT_EQ(cp.cells_done, cp.cells_total);
+}
+
+TEST_F(ReliabilityTest, SigtermDrainsWithInterruptedManifest)
+{
+    const std::filesystem::path ckpt = dir_ / "drain.ckpt";
+    const std::filesystem::path manifest_path = dir_ / "manifest.json";
+
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        ::setenv("PIPEDEPTH_CACHE_DIR",
+                 (dir_ / "cache-drain").string().c_str(), 1);
+        std::freopen("/dev/null", "w", stdout);
+        std::freopen("/dev/null", "w", stderr);
+        ::execl(PIPESIM_PATH, PIPESIM_PATH, "--workload", "db1",
+                "--sweep", "--length", "200000", "--warmup", "10000",
+                "--threads", "2", "--checkpoint", ckpt.string().c_str(),
+                "--manifest-out", manifest_path.string().c_str(),
+                static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+    for (int i = 0; i < 2000; ++i) {
+        SweepCheckpoint cp;
+        if (readCheckpoint(ckpt.string(), &cp) && cp.cells_done >= 1)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ::kill(pid, SIGTERM);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    if (WEXITSTATUS(status) == 0)
+        GTEST_SKIP() << "sweep finished before SIGTERM landed";
+    EXPECT_EQ(WEXITSTATUS(status), 130);
+
+    // Graceful drain: manifest finalized with status "interrupted".
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(slurp(manifest_path), &doc, &error))
+        << error;
+    ASSERT_TRUE(validateManifest(doc, &error)) << error;
+    EXPECT_EQ(doc.find("status")->string, "interrupted");
+
+    SweepCheckpoint cp;
+    ASSERT_TRUE(readCheckpoint(ckpt.string(), &cp, &error)) << error;
+    EXPECT_EQ(cp.status, "interrupted");
+}
+
+TEST_F(ReliabilityTest, PipesimSweepCompletesUnderInjectedFaults)
+{
+    // A sweep whose every third cell fails twice (exhausting one
+    // retry) completes with quarantined holes and exit code 3.
+    const std::filesystem::path manifest_path = dir_ / "faulty.json";
+    const int rc = runShell(
+        "PIPEDEPTH_CACHE_DIR= " + std::string(PIPESIM_PATH) +
+        " --workload db1 --sweep --csv --length 20000 --warmup 5000 "
+        "--max-retries 0 --failpoint 'sweep.cell.simulate=every:3' "
+        "--manifest-out " + manifest_path.string() +
+        " >/dev/null 2>/dev/null");
+    EXPECT_EQ(rc, 3);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(slurp(manifest_path), &doc, &error))
+        << error;
+    ASSERT_TRUE(validateManifest(doc, &error)) << error;
+    EXPECT_EQ(doc.find("status")->string, "complete");
+    EXPECT_GT(doc.find("cell_counts")->find("quarantined")->number, 0.0);
+}
+
+} // namespace
+} // namespace pipedepth

@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "sweep/cache_key.hh"
 #include "sweep/result_cache.hh"
 
@@ -232,6 +234,37 @@ TEST_F(ResultCacheTest, StoreLeavesNoTempFiles)
         EXPECT_EQ(entry.path().extension(), ".simres") << entry.path();
     }
     EXPECT_EQ(files, 2u);
+}
+
+TEST_F(ResultCacheTest, SweepRemovesDeadWritersTempFilesOnly)
+{
+    const ResultCache cache(dir_.string());
+    ASSERT_TRUE(cache.store(CacheKey{1, 1}, sampleResult()));
+
+    // A tmp file from a long-dead writer (pid 1 is init — alive but
+    // unsignalable from an unprivileged test, so use a pid far above
+    // any plausible live process instead) and one from this process.
+    const std::string entry = cache.entryPath(CacheKey{2, 2});
+    const std::string dead = entry + ".tmp.999999999.0";
+    const std::string live =
+        entry + ".tmp." + std::to_string(::getpid()) + ".0";
+    std::ofstream(dead) << "torn";
+    std::ofstream(live) << "in flight";
+
+    EXPECT_EQ(cache.sweepStaleTempFiles(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(dead));
+    EXPECT_TRUE(std::filesystem::exists(live));
+
+    // Opening a new cache on the directory sweeps automatically.
+    std::ofstream(dead) << "torn again";
+    const ResultCache reopened(dir_.string());
+    EXPECT_FALSE(std::filesystem::exists(dead));
+    EXPECT_TRUE(std::filesystem::exists(live));
+
+    // Real entries and non-matching names are never touched.
+    bool corrupt = false;
+    EXPECT_TRUE(cache.load(CacheKey{1, 1}, &corrupt).has_value());
+    EXPECT_FALSE(corrupt);
 }
 
 TEST(ResultCacheDisabled, DisabledCacheMissesAndDropsStores)

@@ -39,9 +39,24 @@
  * --events-out FILE streams JSONL events while the run progresses.
  * Any of the three enables span tracing for the run.
  *
+ * Reliability (docs/RELIABILITY.md): cells whose simulation throws
+ * retry up to --max-retries times (bounded exponential backoff from
+ * --retry-backoff-ms), then quarantine — the sweep completes around
+ * the hole and every quarantined cell is enumerated on stderr and in
+ * the manifest. --checkpoint FILE journals progress so a killed run
+ * can be replayed with --resume FILE, which re-creates the original
+ * invocation from the checkpoint's stored argv; completed cells are
+ * served from the result cache, making the resumed grid
+ * byte-identical. SIGINT/SIGTERM drain gracefully: in-flight cells
+ * finish and land in the cache, the manifest is finalized with
+ * status "interrupted", and the exit status is 130. --failpoint
+ * SPEC / --failpoint-seed N inject deterministic faults (same syntax
+ * as PIPEDEPTH_FAILPOINTS; see common/failpoint.hh).
+ *
  * Unknown flags, a missing flag argument, or an unknown workload name
  * print usage / the catalog hint and exit with status 2; simulation
- * failures exit 1.
+ * failures exit 1; a sweep that completed but quarantined cells exits
+ * 3; a drained (interrupted) run exits 130.
  */
 
 #include <cstdio>
@@ -51,11 +66,14 @@
 #include <vector>
 
 #include "calib/extract.hh"
+#include "common/failpoint.hh"
+#include "common/interrupt.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "math/least_squares.hh"
 #include "power/activity_power.hh"
 #include "sweep/cache_key.hh"
+#include "sweep/checkpoint.hh"
 #include "sweep/result_cache.hh"
 #include "sweep/sweep_engine.hh"
 #include "telemetry/manifest.hh"
@@ -79,9 +97,122 @@ usage(const char *argv0)
         "          [--length N] [--warmup N] [--csv] [--no-cache]\n"
         "          [--threads N] [--stalls] [--stalls-json] [--audit]\n"
         "          [--verbose] [--perf-json FILE] [--trace-out FILE]\n"
-        "          [--manifest-out FILE] [--events-out FILE]\n",
-        argv0);
+        "          [--manifest-out FILE] [--events-out FILE]\n"
+        "          [--max-retries N] [--retry-backoff-ms N]\n"
+        "          [--checkpoint FILE] [--failpoint SPEC]\n"
+        "          [--failpoint-seed N]\n"
+        "       %s --resume FILE\n",
+        argv0, argv0);
     std::exit(2);
+}
+
+/** Parsed command line (see usage / the file comment). */
+struct Options
+{
+    std::string tape, workload;
+    int depth = 8;
+    bool sweep = false;
+    bool ooo = false;
+    bool csv = false;
+    bool no_cache = false;
+    bool stalls = false;
+    bool stalls_json = false;
+    bool audit = false;
+    bool verbose = false;
+    std::string perf_json;
+    std::string trace_out, manifest_out, events_out;
+    std::string checkpoint; //!< journal progress to this file
+    std::string resume;     //!< replay the run this checkpoint describes
+    unsigned threads = 0;
+    unsigned max_retries = 2;
+    unsigned retry_backoff_ms = 10;
+    std::string failpoint_spec;
+    std::uint64_t failpoint_seed = 1;
+    std::size_t length = 200000;
+    std::size_t warmup = 60000;
+    PredictorKind predictor = PredictorKind::Bimodal;
+};
+
+/**
+ * Parse @p args (argv without the program name) into @p opt.
+ * @return false on an unknown flag or missing argument. Kept
+ * re-entrant so --resume can re-parse a checkpoint's stored argv.
+ */
+bool
+parseArgs(const std::vector<std::string> &args, Options &opt)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const bool has_value = i + 1 < args.size();
+        if (arg == "--tape" && has_value) {
+            opt.tape = args[++i];
+        } else if (arg == "--workload" && has_value) {
+            opt.workload = args[++i];
+        } else if (arg == "--depth" && has_value) {
+            opt.depth = std::atoi(args[++i].c_str());
+        } else if (arg == "--sweep") {
+            opt.sweep = true;
+        } else if (arg == "--ooo") {
+            opt.ooo = true;
+        } else if (arg == "--length" && has_value) {
+            opt.length = static_cast<std::size_t>(
+                std::strtoull(args[++i].c_str(), nullptr, 10));
+        } else if (arg == "--warmup" && has_value) {
+            opt.warmup = static_cast<std::size_t>(
+                std::strtoull(args[++i].c_str(), nullptr, 10));
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--no-cache") {
+            opt.no_cache = true;
+        } else if (arg == "--stalls") {
+            opt.stalls = true;
+        } else if (arg == "--stalls-json") {
+            opt.stalls_json = true;
+        } else if (arg == "--audit") {
+            opt.audit = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg == "--perf-json" && has_value) {
+            opt.perf_json = args[++i];
+        } else if (arg == "--trace-out" && has_value) {
+            opt.trace_out = args[++i];
+        } else if (arg == "--manifest-out" && has_value) {
+            opt.manifest_out = args[++i];
+        } else if (arg == "--events-out" && has_value) {
+            opt.events_out = args[++i];
+        } else if (arg == "--checkpoint" && has_value) {
+            opt.checkpoint = args[++i];
+        } else if (arg == "--resume" && has_value) {
+            opt.resume = args[++i];
+        } else if (arg == "--max-retries" && has_value) {
+            opt.max_retries = static_cast<unsigned>(
+                std::strtoul(args[++i].c_str(), nullptr, 10));
+        } else if (arg == "--retry-backoff-ms" && has_value) {
+            opt.retry_backoff_ms = static_cast<unsigned>(
+                std::strtoul(args[++i].c_str(), nullptr, 10));
+        } else if (arg == "--failpoint" && has_value) {
+            opt.failpoint_spec = args[++i];
+        } else if (arg == "--failpoint-seed" && has_value) {
+            opt.failpoint_seed =
+                std::strtoull(args[++i].c_str(), nullptr, 10);
+        } else if (arg == "--threads" && has_value) {
+            opt.threads = static_cast<unsigned>(
+                std::strtoul(args[++i].c_str(), nullptr, 10));
+        } else if (arg == "--predictor" && has_value) {
+            const std::string kind = args[++i];
+            if (kind == "bimodal")
+                opt.predictor = PredictorKind::Bimodal;
+            else if (kind == "gshare")
+                opt.predictor = PredictorKind::Gshare;
+            else if (kind == "taken")
+                opt.predictor = PredictorKind::AlwaysTaken;
+            else
+                return false;
+        } else {
+            return false;
+        }
+    }
+    return true;
 }
 
 /** Engine counters as a JSON object, for the perf harness. */
@@ -96,6 +227,9 @@ writePerfJson(const SweepCounters &c, std::FILE *out)
         "  \"cache_hits\": %llu,\n"
         "  \"cache_stores\": %llu,\n"
         "  \"cache_errors\": %llu,\n"
+        "  \"cells_retried\": %llu,\n"
+        "  \"cells_quarantined\": %llu,\n"
+        "  \"cells_skipped\": %llu,\n"
         "  \"traces_generated\": %llu,\n"
         "  \"instructions_simulated\": %llu,\n"
         "  \"wall_seconds\": %.6f,\n"
@@ -109,6 +243,9 @@ writePerfJson(const SweepCounters &c, std::FILE *out)
         static_cast<unsigned long long>(c.cache_hits),
         static_cast<unsigned long long>(c.cache_stores),
         static_cast<unsigned long long>(c.cache_errors),
+        static_cast<unsigned long long>(c.cells_retried),
+        static_cast<unsigned long long>(c.cells_quarantined),
+        static_cast<unsigned long long>(c.cells_skipped),
         static_cast<unsigned long long>(c.traces_generated),
         static_cast<unsigned long long>(c.instructions_simulated),
         c.wall_seconds, c.simMips(), c.cellSecondsPercentile(50.0),
@@ -263,164 +400,197 @@ printRun(const SimResult &r)
     }
 }
 
+/** Enumerate quarantined/skipped cells on stderr. */
+void
+printFailures(const std::vector<FailureRecord> &failures)
+{
+    for (const auto &f : failures) {
+        if (f.attempts == 0) {
+            std::fprintf(stderr, "pipesim: cell %s depth %d %s\n",
+                         f.workload.c_str(), f.depth, f.cause.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "pipesim: quarantined cell %s depth %d after "
+                         "%u attempt%s: %s\n",
+                         f.workload.c_str(), f.depth, f.attempts,
+                         f.attempts == 1 ? "" : "s", f.cause.c_str());
+        }
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string tape, workload;
-    int depth = 8;
-    bool sweep = false;
-    bool ooo = false;
-    bool csv = false;
-    bool no_cache = false;
-    bool stalls = false;
-    bool stalls_json = false;
-    bool audit = false;
-    bool verbose = false;
-    std::string perf_json;
-    std::string trace_out, manifest_out, events_out;
-    unsigned threads = 0;
-    std::size_t length = 200000;
-    std::size_t warmup = 60000;
-    PredictorKind predictor = PredictorKind::Bimodal;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    Options opt;
+    if (!parseArgs(args, opt))
+        usage(argv[0]);
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--tape" && i + 1 < argc) {
-            tape = argv[++i];
-        } else if (arg == "--workload" && i + 1 < argc) {
-            workload = argv[++i];
-        } else if (arg == "--depth" && i + 1 < argc) {
-            depth = std::atoi(argv[++i]);
-        } else if (arg == "--sweep") {
-            sweep = true;
-        } else if (arg == "--ooo") {
-            ooo = true;
-        } else if (arg == "--length" && i + 1 < argc) {
-            length = static_cast<std::size_t>(
-                std::strtoull(argv[++i], nullptr, 10));
-        } else if (arg == "--warmup" && i + 1 < argc) {
-            warmup = static_cast<std::size_t>(
-                std::strtoull(argv[++i], nullptr, 10));
-        } else if (arg == "--csv") {
-            csv = true;
-        } else if (arg == "--no-cache") {
-            no_cache = true;
-        } else if (arg == "--stalls") {
-            stalls = true;
-        } else if (arg == "--stalls-json") {
-            stalls_json = true;
-        } else if (arg == "--audit") {
-            audit = true;
-        } else if (arg == "--verbose") {
-            verbose = true;
-        } else if (arg == "--perf-json" && i + 1 < argc) {
-            perf_json = argv[++i];
-        } else if (arg == "--trace-out" && i + 1 < argc) {
-            trace_out = argv[++i];
-        } else if (arg == "--manifest-out" && i + 1 < argc) {
-            manifest_out = argv[++i];
-        } else if (arg == "--events-out" && i + 1 < argc) {
-            events_out = argv[++i];
-        } else if (arg == "--threads" && i + 1 < argc) {
-            threads = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-        } else if (arg == "--predictor" && i + 1 < argc) {
-            const std::string kind = argv[++i];
-            if (kind == "bimodal")
-                predictor = PredictorKind::Bimodal;
-            else if (kind == "gshare")
-                predictor = PredictorKind::Gshare;
-            else if (kind == "taken")
-                predictor = PredictorKind::AlwaysTaken;
-            else
-                usage(argv[0]);
-        } else {
-            usage(argv[0]);
+    // --resume FILE: re-create the killed invocation from the
+    // checkpoint's stored argv, then keep journalling into the same
+    // file. Completed cells hit the result cache, so the resumed
+    // grid is byte-identical to an uninterrupted run.
+    std::string resumed_hash;
+    if (!opt.resume.empty()) {
+        const std::string resume_path = opt.resume;
+        SweepCheckpoint cp;
+        std::string error;
+        if (!readCheckpoint(resume_path, &cp, &error)) {
+            std::fprintf(stderr, "%s: cannot resume from '%s': %s\n",
+                         argv[0], resume_path.c_str(), error.c_str());
+            return 2;
+        }
+        if (cp.tool != "pipesim") {
+            std::fprintf(stderr,
+                         "%s: checkpoint '%s' was written by '%s', not "
+                         "pipesim\n",
+                         argv[0], resume_path.c_str(), cp.tool.c_str());
+            return 2;
+        }
+        std::vector<std::string> stored(
+            cp.argv.begin() + (cp.argv.empty() ? 0 : 1), cp.argv.end());
+        opt = Options{};
+        if (!parseArgs(stored, opt)) {
+            std::fprintf(stderr,
+                         "%s: checkpoint '%s' stores an unparsable "
+                         "argv\n",
+                         argv[0], resume_path.c_str());
+            return 2;
+        }
+        args = std::move(stored);
+        opt.checkpoint = resume_path;
+        resumed_hash = cp.config_hash;
+        std::fprintf(stderr,
+                     "pipesim: resuming '%s' (%llu of %llu cells were "
+                     "resolved, status %s)\n",
+                     resume_path.c_str(),
+                     static_cast<unsigned long long>(cp.cells_done),
+                     static_cast<unsigned long long>(cp.cells_total),
+                     cp.status.c_str());
+    }
+
+    if (opt.tape.empty() == opt.workload.empty())
+        usage(argv[0]); // exactly one source
+
+    if (!opt.failpoint_spec.empty()) {
+        failpoints::setSeed(opt.failpoint_seed);
+        std::string error;
+        if (!failpoints::configure(opt.failpoint_spec, &error)) {
+            std::fprintf(stderr, "%s: bad --failpoint spec: %s\n",
+                         argv[0], error.c_str());
+            return 2;
         }
     }
 
-    if (tape.empty() == workload.empty())
-        usage(argv[0]); // exactly one source
-
-    if (!workload.empty()) {
+    if (!opt.workload.empty()) {
         bool known = false;
         for (const auto &w : workloadCatalog())
-            known = known || w.name == workload;
+            known = known || w.name == opt.workload;
         if (!known) {
             std::fprintf(stderr,
                          "%s: unknown workload '%s' (run `tracegen "
                          "--list` for the catalog)\n",
-                         argv[0], workload.c_str());
+                         argv[0], opt.workload.c_str());
             return 2;
         }
     }
 
     // Enable span tracing before the trace is generated/loaded so the
     // trace.generate span lands in the output too.
-    const bool telemetry_on =
-        !trace_out.empty() || !manifest_out.empty() || !events_out.empty();
+    const bool telemetry_on = !opt.trace_out.empty() ||
+                              !opt.manifest_out.empty() ||
+                              !opt.events_out.empty();
     if (telemetry_on)
         SpanTracer::instance().setEnabled(true);
 
-    const Trace trace = tape.empty()
-                            ? findWorkload(workload).makeTrace(length)
-                            : readTrace(tape);
+    const Trace trace =
+        opt.tape.empty()
+            ? findWorkload(opt.workload).makeTrace(opt.length)
+            : readTrace(opt.tape);
 
     auto configure = [&](int p) {
-        PipelineConfig cfg = PipelineConfig::forDepth(p, !ooo);
-        cfg.predictor = predictor;
-        cfg.warmup_instructions = warmup;
-        cfg.audit_ledger = audit;
+        PipelineConfig cfg = PipelineConfig::forDepth(p, !opt.ooo);
+        cfg.predictor = opt.predictor;
+        cfg.warmup_instructions = opt.warmup;
+        cfg.audit_ledger = opt.audit;
         return cfg;
     };
 
-    const int min_depth = ooo ? 3 : 2;
+    const int min_depth = opt.ooo ? 3 : 2;
     std::vector<PipelineConfig> configs;
-    if (sweep) {
+    if (opt.sweep) {
         configs.reserve(24);
         for (int p = min_depth; p <= 25; ++p)
             configs.push_back(configure(p));
     } else {
-        configs.push_back(configure(depth));
+        configs.push_back(configure(opt.depth));
+    }
+
+    // Grid identity: hashed into the checkpoint so --resume refuses a
+    // checkpoint whose stored argv somehow yields a different grid
+    // (e.g. the binary changed its depth range between versions).
+    StableHasher config_hasher;
+    for (const auto &cfg : configs)
+        hashPipelineConfig(config_hasher, cfg);
+    const std::string config_hash = config_hasher.key().hex();
+    if (!resumed_hash.empty() && resumed_hash != config_hash) {
+        std::fprintf(stderr,
+                     "%s: checkpoint config hash %s does not match this "
+                     "grid (%s); refusing to resume\n",
+                     argv[0], resumed_hash.c_str(), config_hash.c_str());
+        return 2;
     }
 
     SweepEngineOptions engine_options;
-    engine_options.threads = threads;
-    engine_options.use_cache = !no_cache;
+    engine_options.threads = opt.threads;
+    engine_options.use_cache = !opt.no_cache;
+    engine_options.max_retries = opt.max_retries;
+    engine_options.retry_backoff_ms = opt.retry_backoff_ms;
     SweepEngine engine(engine_options);
 
     RunManifest manifest;
     if (telemetry_on) {
         manifest.setTool("pipesim");
         manifest.setArgv(argc, argv);
-        StableHasher config_hash;
-        for (const auto &cfg : configs)
-            hashPipelineConfig(config_hash, cfg);
         manifest.addMeta("sim_version", kSimulatorVersionTag);
-        manifest.addMeta("config_hash", config_hash.key().hex());
+        manifest.addMeta("config_hash", config_hash);
         manifest.addMeta("trace", trace.name);
         manifest.addMeta("cache_dir",
                          engine.cacheEnabled() ? engine.cacheDir() : "");
-        if (!events_out.empty())
-            manifest.openEvents(events_out);
+        if (!opt.events_out.empty())
+            manifest.openEvents(opt.events_out);
         engine.attachManifest(&manifest);
     }
+
+    if (!opt.checkpoint.empty()) {
+        SweepCheckpoint proto;
+        proto.tool = "pipesim";
+        // Store the *effective* argv — for a resumed run, the one
+        // recovered from the checkpoint — so a resume of a resumed
+        // run replays the same original invocation.
+        proto.argv.push_back(argv[0]);
+        proto.argv.insert(proto.argv.end(), args.begin(), args.end());
+        proto.config_hash = config_hash;
+        engine.attachCheckpoint(opt.checkpoint, std::move(proto));
+    }
+
+    installInterruptHandlers();
 
     auto emitTelemetry = [&]() {
         if (!telemetry_on)
             return;
-        if (!trace_out.empty())
-            SpanTracer::instance().writeChromeTrace(trace_out);
-        if (!manifest_out.empty())
-            manifest.write(manifest_out);
-        else if (!events_out.empty())
+        if (!opt.trace_out.empty())
+            SpanTracer::instance().writeChromeTrace(opt.trace_out);
+        if (!opt.manifest_out.empty())
+            manifest.write(opt.manifest_out);
+        else if (!opt.events_out.empty())
             manifest.event("run_end");
     };
 
-    if (verbose) {
-        if (no_cache) {
+    if (opt.verbose) {
+        if (opt.no_cache) {
             std::fprintf(stderr, "result cache: disabled (--no-cache)\n");
         } else {
             const char *source = nullptr;
@@ -437,49 +607,102 @@ main(int argc, char **argv)
     }
 
     auto emitPerf = [&]() {
-        if (perf_json.empty())
+        if (opt.perf_json.empty())
             return;
-        if (perf_json == "-") {
+        if (opt.perf_json == "-") {
             writePerfJson(engine.counters(), stdout);
             return;
         }
-        std::FILE *f = std::fopen(perf_json.c_str(), "w");
+        std::FILE *f = std::fopen(opt.perf_json.c_str(), "w");
         if (!f)
-            PP_FATAL("cannot write perf JSON to '", perf_json, "'");
+            PP_FATAL("cannot write perf JSON to '", opt.perf_json, "'");
         writePerfJson(engine.counters(), f);
         std::fclose(f);
     };
 
-    if (!sweep) {
-        const SimResult run = engine.runConfigs(trace, configs).front();
-        if (stalls_json) {
-            printStallJson(run);
-        } else {
-            printRun(run);
-            if (stalls) {
-                std::printf("\nstall ledger breakdown:\n");
-                printStallTable(run, csv);
-            }
-        }
+    // Epilogue shared by both the single-run and sweep paths: finalize
+    // checkpoint and manifest with the run's status, emit telemetry,
+    // and turn a drain into exit 130.
+    auto finishRun = [&](int exit_code) -> int {
+        const bool interrupted = interruptRequested();
+        manifest.setStatus(interrupted ? "interrupted" : "complete");
+        engine.finalizeCheckpoint(interrupted ? "interrupted"
+                                              : "complete");
         engine.printSummary(std::cerr);
         emitPerf();
         emitTelemetry();
-        return 0;
+        if (interrupted) {
+            std::fprintf(
+                stderr,
+                "pipesim: interrupted by signal %d; partial results "
+                "are cached%s\n",
+                interruptSignal(),
+                opt.checkpoint.empty()
+                    ? ""
+                    : ("; resume with --resume " + opt.checkpoint)
+                          .c_str());
+            return 130;
+        }
+        return exit_code;
+    };
+
+    if (!opt.sweep) {
+        const SimResult run = engine.runConfigs(trace, configs).front();
+        const std::vector<FailureRecord> failures = engine.lastFailures();
+        if (!failures.empty()) {
+            printFailures(failures);
+            return finishRun(1);
+        }
+        if (opt.stalls_json) {
+            printStallJson(run);
+        } else {
+            printRun(run);
+            if (opt.stalls) {
+                std::printf("\nstall ledger breakdown:\n");
+                printStallTable(run, opt.csv);
+            }
+        }
+        return finishRun(0);
     }
 
     const std::vector<SimResult> runs = engine.runConfigs(trace, configs);
+    const std::vector<FailureRecord> failures = engine.lastFailures();
+    printFailures(failures);
+    if (interruptRequested())
+        return finishRun(130);
+
+    // Quarantined cells leave holes (cycles == 0): the table, fits
+    // and calibration run over the live cells only.
+    std::vector<SimResult> live;
+    live.reserve(runs.size());
+    for (const auto &r : runs) {
+        if (r.cycles != 0)
+            live.push_back(r);
+    }
+    if (live.empty()) {
+        std::fprintf(stderr,
+                     "pipesim: every cell of the sweep failed; no "
+                     "results to print\n");
+        return finishRun(1);
+    }
 
     const SimResult *ref = nullptr;
-    for (const auto &r : runs) {
+    for (const auto &r : live) {
         if (r.depth == 8)
             ref = &r;
     }
-    PP_ASSERT(ref, "reference depth missing from sweep");
+    if (!ref) {
+        ref = &live.front();
+        std::fprintf(stderr,
+                     "pipesim: reference depth 8 missing (quarantined?); "
+                     "calibrating leakage at depth %d instead\n",
+                     ref->depth);
+    }
     ActivityPowerModel power;
     power = power.withLeakageFraction(*ref, 0.15);
 
-    TableWriter t(csv ? TableWriter::Style::Csv
-                      : TableWriter::Style::Aligned);
+    TableWriter t(opt.csv ? TableWriter::Style::Csv
+                          : TableWriter::Style::Aligned);
     t.addColumn("depth", 0);
     t.addColumn("FO4", 1);
     t.addColumn("CPI", 3);
@@ -488,35 +711,32 @@ main(int argc, char **argv)
 
     std::vector<double> depths, metric;
     double bips_peak = 0.0, metric_peak = 0.0;
-    for (const auto &r : runs) {
+    for (const auto &r : live) {
         depths.push_back(r.depth);
         metric.push_back(power.metric(r, 3.0, true));
         bips_peak = std::max(bips_peak, r.bips());
         metric_peak = std::max(metric_peak, metric.back());
     }
-    for (std::size_t i = 0; i < runs.size(); ++i) {
+    for (std::size_t i = 0; i < live.size(); ++i) {
         t.beginRow();
-        t.cell(runs[i].depth);
-        t.cell(runs[i].cycle_time_fo4);
-        t.cell(runs[i].cpi());
-        t.cell(runs[i].bips() / bips_peak);
+        t.cell(live[i].depth);
+        t.cell(live[i].cycle_time_fo4);
+        t.cell(live[i].cpi());
+        t.cell(live[i].bips() / bips_peak);
         t.cell(metric[i] / metric_peak);
     }
     t.render(std::cout);
 
     const CubicPeak peak = fitCubicPeak(depths, metric);
-    if (!csv) {
+    if (!opt.csv) {
         std::printf("\nBIPS^3/W cubic-fit optimum: %.1f stages%s\n",
                     peak.x, peak.interior ? "" : " (endpoint)");
     }
-    if (stalls || stalls_json) {
-        if (!csv)
+    if (opt.stalls || opt.stalls_json) {
+        if (!opt.csv)
             std::printf("\nstall ledger composition by depth "
                         "(share of cycles):\n");
-        printStallSweep(runs, csv);
+        printStallSweep(live, opt.csv);
     }
-    engine.printSummary(std::cerr);
-    emitPerf();
-    emitTelemetry();
-    return 0;
+    return finishRun(failures.empty() ? 0 : 3);
 }
