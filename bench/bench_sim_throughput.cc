@@ -9,11 +9,13 @@
  *                        [--baseline FILE]
  *
  * The output is stamped with a schema_version and the git revision of
- * the build. --baseline FILE checks a committed baseline (normally
- * BENCH_sim_throughput.json) against the current schema before
- * measuring anything, and fails fast (exit 1) when the baseline
- * predates it — the signal that the baseline must be regenerated, not
- * compared against.
+ * the build. --baseline FILE turns the bench into a regression gate
+ * against a committed baseline (normally BENCH_sim_throughput.json):
+ * before measuring anything it fails fast (exit 1) when the baseline
+ * predates the current schema — the signal that the baseline must be
+ * regenerated, not compared against — and after measuring it fails
+ * (exit 1) when the fused-walk throughput drops more than 20% below
+ * the baseline's.
  *
  * The bench times the replay pipeline phase by phase on a sample of
  * catalog workloads across the golden depths {2, 7, 14, 25}:
@@ -22,7 +24,10 @@
  *   prepare     flatten the trace into the contiguous ReplayBuffer
  *   annotate    precompute the depth-invariant microarchitectural
  *               annotations (caches, predictor, store forwarding)
- *   timing_walk the per-depth timing walk over the annotated replay
+ *   timing_walk the per-depth reference timing walk over the
+ *               annotated replay (the byte-identity oracle)
+ *   fused_walk  the fused multi-depth walk: one streaming pass
+ *               updating every depth (the production path)
  *
  * and separately times a SweepEngine grid twice against a private
  * cache directory (cold = simulate + store, warm = replay from disk).
@@ -50,6 +55,7 @@
 #include "sweep/sweep_engine.hh"
 #include "telemetry/build_info.hh"
 #include "trace/replay_buffer.hh"
+#include "uarch/multi_depth_walk.hh"
 #include "uarch/replay_annotations.hh"
 #include "uarch/simulator.hh"
 #include "workloads/catalog.hh"
@@ -67,10 +73,19 @@ using Clock = std::chrono::steady_clock;
  * re-typed, so stale committed baselines are rejected instead of
  * silently compared.
  */
-constexpr int kBenchSchemaVersion = 2;
+constexpr int kBenchSchemaVersion = 3;
 
-/** Exit 1 unless @p path is a baseline of the current schema. */
-void
+/**
+ * Allowed fused-walk throughput loss against the committed baseline
+ * before --baseline fails the run: generous enough for scheduler
+ * noise on a shared machine, tight enough to catch an accidental
+ * fallback off the fused path (which costs ~4x, not 20%).
+ */
+constexpr double kRegressionTolerance = 0.20;
+
+/** Exit 1 unless @p path is a baseline of the current schema;
+ *  returns the baseline's fused-walk instructions/second. */
+double
 checkBaseline(const std::string &path)
 {
     std::ifstream in(path);
@@ -101,6 +116,17 @@ checkBaseline(const std::string &path)
                      path.c_str(), found, kBenchSchemaVersion);
         std::exit(1);
     }
+    const JsonValue *fused =
+        doc.find("fused_walk_instructions_per_second");
+    if (!fused || !fused->isNumber() || fused->number <= 0) {
+        std::fprintf(stderr,
+                     "baseline '%s' lacks a positive "
+                     "fused_walk_instructions_per_second: regenerate "
+                     "it (see docs/PERFORMANCE.md)\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    return fused->number;
 }
 
 double
@@ -123,11 +149,14 @@ struct PhaseSeconds
     double prepare = 0.0;
     double annotate = 0.0;
     double timing_walk = 0.0;
+    double fused_walk = 0.0;
 
+    /** End-to-end seconds of the production path (fused walk); the
+     *  reference walk is timed for comparison but not part of it. */
     double
     total() const
     {
-        return trace_gen + prepare + annotate + timing_walk;
+        return trace_gen + prepare + annotate + fused_walk;
     }
 };
 
@@ -163,6 +192,18 @@ runPhases(const std::vector<WorkloadSpec> &sample,
             *instructions += r.instructions;
         }
         s.timing_walk += secondsSince(t0);
+
+        t0 = Clock::now();
+        const std::vector<SimResult> fused =
+            simulateMultiDepth(replay, ann, configs);
+        s.fused_walk += secondsSince(t0);
+        std::uint64_t fused_instructions = 0;
+        for (const SimResult &r : fused)
+            fused_instructions += r.instructions;
+        PP_ASSERT(fused_instructions ==
+                      static_cast<std::uint64_t>(configs.size()) *
+                          replay.size(),
+                  "fused walk retired a different instruction count");
     }
     return s;
 }
@@ -206,8 +247,9 @@ main(int argc, char **argv)
     }
     if (reps < 1)
         reps = 1;
+    double baseline_fused_ips = 0.0;
     if (!baseline.empty())
-        checkBaseline(baseline);
+        baseline_fused_ips = checkBaseline(baseline);
 
     // Spread the sample across the catalog so every workload class
     // (legacy, online, spec-int-like, fp, ...) is represented.
@@ -227,7 +269,7 @@ main(int argc, char **argv)
         configs.push_back(opt.configAtDepth(p));
 
     // --- direct phase breakdown (median over reps) -------------------
-    std::vector<double> gen_s, prep_s, ann_s, walk_s, total_s;
+    std::vector<double> gen_s, prep_s, ann_s, walk_s, fused_s, total_s;
     std::uint64_t instructions = 0;
     for (int r = 0; r < reps; ++r) {
         const PhaseSeconds s =
@@ -236,18 +278,22 @@ main(int argc, char **argv)
         prep_s.push_back(s.prepare);
         ann_s.push_back(s.annotate);
         walk_s.push_back(s.timing_walk);
+        fused_s.push_back(s.fused_walk);
         total_s.push_back(s.total());
         if (verbose)
             std::fprintf(stderr,
                          "rep %d: gen %.3fs prepare %.3fs annotate "
-                         "%.3fs walk %.3fs\n",
+                         "%.3fs walk %.3fs fused %.3fs\n",
                          r, s.trace_gen, s.prepare, s.annotate,
-                         s.timing_walk);
+                         s.timing_walk, s.fused_walk);
     }
     const double walk_med = median(walk_s);
+    const double fused_med = median(fused_s);
     const double total_med = median(total_s);
     const double walk_ips =
         static_cast<double>(instructions) / walk_med;
+    const double fused_ips =
+        static_cast<double>(instructions) / fused_med;
     const double total_ips =
         static_cast<double>(instructions) / total_med;
 
@@ -305,9 +351,13 @@ main(int argc, char **argv)
     add("    \"prepare_replay\": %.6f,\n", median(prep_s));
     add("    \"annotate\": %.6f,\n", median(ann_s));
     add("    \"timing_walk\": %.6f,\n", walk_med);
+    add("    \"fused_walk\": %.6f,\n", fused_med);
     add("    \"total\": %.6f\n", total_med);
     add("  },\n");
     add("  \"timing_walk_instructions_per_second\": %.0f,\n", walk_ips);
+    add("  \"fused_walk_instructions_per_second\": %.0f,\n", fused_ips);
+    add("  \"fused_speedup_over_reference_walk\": %.2f,\n",
+        walk_med / fused_med);
     add("  \"end_to_end_instructions_per_second\": %.0f,\n", total_ips);
     add("  \"engine_cold_cache\": {\n");
     add("    \"wall_seconds\": %.6f,\n", cold_med);
@@ -327,6 +377,26 @@ main(int argc, char **argv)
             PP_FATAL("cannot write '", output, "'");
         std::fputs(json.c_str(), f);
         std::fclose(f);
+    }
+
+    // --- regression gate ---------------------------------------------
+    if (baseline_fused_ips > 0) {
+        const double floor =
+            (1.0 - kRegressionTolerance) * baseline_fused_ips;
+        if (fused_ips < floor) {
+            std::fprintf(stderr,
+                         "FUSED-WALK REGRESSION: measured %.0f "
+                         "instructions/s against a floor of %.0f "
+                         "(baseline %.0f minus %.0f%% tolerance) — "
+                         "see docs/PERFORMANCE.md\n",
+                         fused_ips, floor, baseline_fused_ips,
+                         100.0 * kRegressionTolerance);
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "fused walk within baseline: %.0f >= %.0f "
+                     "instructions/s\n",
+                     fused_ips, floor);
     }
     return 0;
 }

@@ -19,6 +19,7 @@
 #include "telemetry/manifest.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/telemetry.hh"
+#include "uarch/multi_depth_walk.hh"
 #include "uarch/simulator.hh"
 
 namespace pipedepth
@@ -337,7 +338,14 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
     }
 
     CellTallies tallies;
-    auto runCell = [&](const Cell &cell) -> SimResult {
+
+    // Cache/skip resolution of one cell. Returns true when the cell
+    // resolved without simulation (interrupt hole or cache hit),
+    // writing the result to @p out; otherwise the cell is left for a
+    // compute path and @p key carries its cache key (when caching is
+    // on).
+    auto probeCell = [&](const Cell &cell, SimResult &out,
+                         CacheKey &key) -> bool {
         const WorkloadSpec &spec = specs[cell.spec];
         const PipelineConfig config = options.configAtDepth(cell.depth);
 
@@ -350,31 +358,46 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
                 cell.spec, FailureRecord{spec.name, cell.depth,
                                          "skipped: interrupt drain", "",
                                          0});
-            return holeResult(spec.name, config);
+            out = holeResult(spec.name, config);
+            return true;
         }
 
-        TELEM_SPAN(span, "sweep.cell");
-        span.tag("workload", spec.name);
-        span.tag("depth", cell.depth);
-
-        CacheKey key;
         if (cache_.enabled()) {
             key = simCellKey(spec, options.trace_length, config);
             bool corrupt = false;
             if (auto hit = cache_.load(key, &corrupt)) {
-                tallies.hits.fetch_add(1);
+                TELEM_SPAN(span, "sweep.cell");
+                span.tag("workload", spec.name);
+                span.tag("depth", cell.depth);
                 span.tag("outcome", "cached");
+                tallies.hits.fetch_add(1);
                 hit->workload = spec.name;
                 hit->config = config;
                 reportCell(spec.name, cell.depth,
                            ManifestCell::Outcome::Cached, 0.0,
                            hit->instructions);
                 noteCellResolved();
-                return std::move(*hit);
+                out = std::move(*hit);
+                return true;
             }
             if (corrupt)
                 tallies.errors.fetch_add(1);
         }
+        return false;
+    };
+
+    // Per-cell reference path: retries, quarantine and bookkeeping,
+    // one walk per cell. Runs every cache miss the fused path does
+    // not take (failpoints armed, unfusable shapes, lone cells) and
+    // every cell of a group whose fused walk failed.
+    auto computeCell = [&](const Cell &cell,
+                           const CacheKey &key) -> SimResult {
+        const WorkloadSpec &spec = specs[cell.spec];
+        const PipelineConfig config = options.configAtDepth(cell.depth);
+
+        TELEM_SPAN(span, "sweep.cell");
+        span.tag("workload", spec.name);
+        span.tag("depth", cell.depth);
 
         SpecReplay &sr = *replays[cell.spec];
         const auto cell_start = std::chrono::steady_clock::now();
@@ -456,8 +479,143 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
         return result;
     };
 
-    std::vector<SimResult> flat =
-        parallelMap(cells, runCell, options_.threads, options_.chunk);
+    // Cell groups: contiguous depth sub-ranges of one workload,
+    // scheduled as units so that each group's cache misses can run as
+    // ONE fused multi-depth walk (uarch/multi_depth_walk.hh) instead
+    // of |missing| separate passes over the replay buffer. Grouping
+    // is purely a scheduling choice: fused results are byte-identical
+    // to per-cell results, so neither thread count nor group shape
+    // can leak into measurements, and the cache key is unchanged.
+    struct Group
+    {
+        std::size_t spec;
+        std::size_t begin; //!< first index into cells
+        std::size_t end;   //!< one past the last
+    };
+    const unsigned workers =
+        parallelWorkerCount(options_.threads, cells.size(), 1);
+    // One group per workload when the grid has enough workloads to
+    // fill the pool; otherwise split each depth range so work
+    // stealing still balances the tail — but never below 4 cells,
+    // since fusion amortizes the streaming cost across the group.
+    std::size_t groups_per_spec = 1;
+    if (specs.size() < static_cast<std::size_t>(workers) * 3) {
+        groups_per_spec =
+            (static_cast<std::size_t>(workers) * 3 + specs.size() - 1) /
+            specs.size();
+    }
+    const std::size_t group_span = std::max<std::size_t>(
+        4, (n_depths + groups_per_spec - 1) / groups_per_spec);
+    std::vector<Group> groups;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        for (std::size_t b = 0; b < n_depths; b += group_span) {
+            groups.push_back(
+                Group{s, s * n_depths + b,
+                      s * n_depths + std::min(n_depths, b + group_span)});
+        }
+    }
+
+    const bool fuse = options_.fused_walk && fusedWalkEnabled();
+    auto runGroup = [&](const Group &group) -> std::vector<SimResult> {
+        const std::size_t count = group.end - group.begin;
+        std::vector<SimResult> out(count);
+        std::vector<CacheKey> keys(count);
+        std::vector<std::size_t> missing;
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!probeCell(cells[group.begin + i], out[i], keys[i]))
+                missing.push_back(i);
+        }
+
+        // Fused fast path. Never entered with failpoints armed: the
+        // fault-injection contracts (per-cell attempt counts, partial
+        // failures) are defined against the per-cell path.
+        if (fuse && missing.size() > 1 && !failpoints::anyActive()) {
+            const WorkloadSpec &spec = specs[group.spec];
+            std::vector<PipelineConfig> fused_configs;
+            fused_configs.reserve(missing.size());
+            for (std::size_t i : missing) {
+                fused_configs.push_back(
+                    options.configAtDepth(cells[group.begin + i].depth));
+            }
+            if (canFuseConfigs(fused_configs)) {
+                try {
+                    SpecReplay &sr = *replays[group.spec];
+                    std::call_once(sr.once, [&]() {
+                        TELEM_SPAN(prepare_span, "sweep.trace.prepare");
+                        prepare_span.tag("workload", spec.name);
+                        sr.replay = prepareReplay(
+                            spec.makeTrace(options.trace_length));
+                        sr.annotations = annotateReplay(
+                            sr.replay, fused_configs.front());
+                        tallies.traces.fetch_add(1);
+                    });
+                    bool all_match = true;
+                    for (const PipelineConfig &config : fused_configs) {
+                        if (!sr.annotations.matches(config,
+                                                    sr.replay.size())) {
+                            all_match = false;
+                            break;
+                        }
+                    }
+                    if (all_match) {
+                        TELEM_SPAN(span, "sweep.cell.fused");
+                        span.tag("workload", spec.name);
+                        span.tag("cells", static_cast<std::uint64_t>(
+                                              missing.size()));
+                        const auto start =
+                            std::chrono::steady_clock::now();
+                        std::vector<SimResult> fused_results =
+                            simulateMultiDepth(sr.replay, sr.annotations,
+                                               fused_configs);
+                        // The walk's wall time is genuinely joint;
+                        // attribute an equal share to each cell so the
+                        // per-cell latency distribution stays
+                        // comparable across paths.
+                        const double per_cell =
+                            std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count() /
+                            static_cast<double>(missing.size());
+                        for (std::size_t m = 0; m < missing.size(); ++m) {
+                            const std::size_t i = missing[m];
+                            const Cell &cell = cells[group.begin + i];
+                            SimResult &result = fused_results[m];
+                            tallies.recordCellSeconds(per_cell);
+                            tallies.computed.fetch_add(1);
+                            tallies.instructions.fetch_add(
+                                result.instructions);
+                            reportCell(spec.name, cell.depth,
+                                       ManifestCell::Outcome::Computed,
+                                       per_cell, result.instructions);
+                            if (cache_.enabled() &&
+                                cache_.store(keys[i], result)) {
+                                tallies.stores.fetch_add(1);
+                            }
+                            noteCellResolved();
+                            out[i] = std::move(result);
+                        }
+                        return out;
+                    }
+                } catch (...) {
+                    // A failed fused walk is not a failed cell: fall
+                    // through and give every cell its own per-cell
+                    // attempts, with full retry/quarantine semantics.
+                }
+            }
+        }
+
+        for (std::size_t i : missing)
+            out[i] = computeCell(cells[group.begin + i], keys[i]);
+        return out;
+    };
+
+    std::vector<std::vector<SimResult>> grouped =
+        parallelMap(groups, runGroup, options_.threads, 1);
+    std::vector<SimResult> flat(cells.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (std::size_t i = 0; i < grouped[g].size(); ++i)
+            flat[groups[g].begin + i] = std::move(grouped[g][i]);
+    }
     foldTallies(counters_, tallies, cells.size());
     last_failures_.clear();
     for (const auto &[s, record] : tallies.failures) {
@@ -531,37 +689,49 @@ SweepEngine::runConfigs(const Trace &trace,
     ReplayAnnotations annotations;
 
     CellTallies tallies;
-    auto runCell = [&](const PipelineConfig &config) -> SimResult {
+
+    // Cache/skip resolution; same contract as runGrid's probeCell.
+    auto probeCell = [&](const PipelineConfig &config, SimResult &out,
+                         CacheKey &key) -> bool {
         if (interruptRequested()) {
             tallies.skipped.fetch_add(1);
             tallies.recordFailure(
                 0, FailureRecord{trace.name, config.depth,
                                  "skipped: interrupt drain", "", 0});
-            return holeResult(trace.name, config);
+            out = holeResult(trace.name, config);
+            return true;
         }
 
-        TELEM_SPAN(span, "sweep.cell");
-        span.tag("workload", trace.name);
-        span.tag("depth", config.depth);
-
-        CacheKey key;
         if (cache_.enabled()) {
             key = traceCellKey(trace, config);
             bool corrupt = false;
             if (auto hit = cache_.load(key, &corrupt)) {
-                tallies.hits.fetch_add(1);
+                TELEM_SPAN(span, "sweep.cell");
+                span.tag("workload", trace.name);
+                span.tag("depth", config.depth);
                 span.tag("outcome", "cached");
+                tallies.hits.fetch_add(1);
                 hit->workload = trace.name;
                 hit->config = config;
                 reportCell(trace.name, config.depth,
                            ManifestCell::Outcome::Cached, 0.0,
                            hit->instructions);
                 noteCellResolved();
-                return std::move(*hit);
+                out = std::move(*hit);
+                return true;
             }
             if (corrupt)
                 tallies.errors.fetch_add(1);
         }
+        return false;
+    };
+
+    // Per-cell reference path (see runGrid::computeCell).
+    auto computeCell = [&](const PipelineConfig &config,
+                           const CacheKey &key) -> SimResult {
+        TELEM_SPAN(span, "sweep.cell");
+        span.tag("workload", trace.name);
+        span.tag("depth", config.depth);
 
         const auto cell_start = std::chrono::steady_clock::now();
         auto secondsSinceStart = [&cell_start]() {
@@ -632,8 +802,111 @@ SweepEngine::runConfigs(const Trace &trace,
         return result;
     };
 
-    std::vector<SimResult> out =
-        parallelMap(configs, runCell, options_.threads, options_.chunk);
+    // Contiguous config groups, fused exactly as in runGrid. Explicit
+    // config lists may mix machine shapes; canFuseConfigs() and the
+    // per-config annotation check below keep fusion to groups the
+    // fused kernel provably handles, everything else falls back to
+    // the per-cell path.
+    struct Group
+    {
+        std::size_t begin;
+        std::size_t end;
+    };
+    const unsigned workers =
+        parallelWorkerCount(options_.threads, configs.size(), 1);
+    const std::size_t target_groups =
+        std::max<std::size_t>(1, static_cast<std::size_t>(workers) * 3);
+    const std::size_t group_span = std::max<std::size_t>(
+        4, (configs.size() + target_groups - 1) / target_groups);
+    std::vector<Group> groups;
+    for (std::size_t b = 0; b < configs.size(); b += group_span)
+        groups.push_back(
+            Group{b, std::min(configs.size(), b + group_span)});
+
+    const bool fuse = options_.fused_walk && fusedWalkEnabled();
+    auto runGroup = [&](const Group &group) -> std::vector<SimResult> {
+        const std::size_t count = group.end - group.begin;
+        std::vector<SimResult> results(count);
+        std::vector<CacheKey> keys(count);
+        std::vector<std::size_t> missing;
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!probeCell(configs[group.begin + i], results[i], keys[i]))
+                missing.push_back(i);
+        }
+
+        if (fuse && missing.size() > 1 && !failpoints::anyActive()) {
+            std::vector<PipelineConfig> fused_configs;
+            fused_configs.reserve(missing.size());
+            for (std::size_t i : missing)
+                fused_configs.push_back(configs[group.begin + i]);
+            if (canFuseConfigs(fused_configs)) {
+                try {
+                    std::call_once(replay_once, [&]() {
+                        TELEM_SPAN(prepare_span, "sweep.trace.prepare");
+                        prepare_span.tag("workload", trace.name);
+                        replay = prepareReplay(trace);
+                        annotations = annotateReplay(
+                            replay, fused_configs.front());
+                    });
+                    bool all_match = true;
+                    for (const PipelineConfig &config : fused_configs) {
+                        if (!annotations.matches(config, replay.size())) {
+                            all_match = false;
+                            break;
+                        }
+                    }
+                    if (all_match) {
+                        TELEM_SPAN(span, "sweep.cell.fused");
+                        span.tag("workload", trace.name);
+                        span.tag("cells", static_cast<std::uint64_t>(
+                                              missing.size()));
+                        const auto start =
+                            std::chrono::steady_clock::now();
+                        std::vector<SimResult> fused_results =
+                            simulateMultiDepth(replay, annotations,
+                                               fused_configs);
+                        const double per_cell =
+                            std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count() /
+                            static_cast<double>(missing.size());
+                        for (std::size_t m = 0; m < missing.size(); ++m) {
+                            const std::size_t i = missing[m];
+                            SimResult &result = fused_results[m];
+                            tallies.recordCellSeconds(per_cell);
+                            tallies.computed.fetch_add(1);
+                            tallies.instructions.fetch_add(
+                                result.instructions);
+                            reportCell(trace.name, result.depth,
+                                       ManifestCell::Outcome::Computed,
+                                       per_cell, result.instructions);
+                            if (cache_.enabled() &&
+                                cache_.store(keys[i], result)) {
+                                tallies.stores.fetch_add(1);
+                            }
+                            noteCellResolved();
+                            results[i] = std::move(result);
+                        }
+                        return results;
+                    }
+                } catch (...) {
+                    // Fall back to per-cell attempts below.
+                }
+            }
+        }
+
+        for (std::size_t i : missing)
+            results[i] = computeCell(configs[group.begin + i], keys[i]);
+        return results;
+    };
+
+    std::vector<std::vector<SimResult>> grouped =
+        parallelMap(groups, runGroup, options_.threads, 1);
+    std::vector<SimResult> out(configs.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (std::size_t i = 0; i < grouped[g].size(); ++i)
+            out[groups[g].begin + i] = std::move(grouped[g][i]);
+    }
     foldTallies(counters_, tallies, configs.size());
     last_failures_.clear();
     for (const auto &[s, record] : tallies.failures) {

@@ -76,6 +76,17 @@ struct SweepEngineOptions
      */
     bool fail_fast = false;
     /// @}
+
+    /**
+     * Fuse each scheduled group's cache misses into one multi-depth
+     * walk (uarch/multi_depth_walk.hh) when the configurations share
+     * a machine shape: byte-identical results from one streaming pass
+     * instead of one pass per depth. The per-depth reference walk
+     * remains the oracle path — force it everywhere with
+     * PIPEDEPTH_FUSED_WALK=0 in the environment (that kill switch
+     * overrides this flag), or per engine by clearing this.
+     */
+    bool fused_walk = true;
 };
 
 /** What a sweep (or a lifetime of sweeps) did. */

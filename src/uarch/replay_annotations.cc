@@ -82,6 +82,32 @@ MicroarchKey::operator==(const MicroarchKey &o) const
            n_ops == o.n_ops;
 }
 
+void
+ReplayAnnotations::validateFor(const ReplayBuffer &replay) const
+{
+    if (flags.size() != replay.size()) {
+        PP_FATAL("replay annotations for workload '", replay.name,
+                 "' cover ", flags.size(), " ops but the replay buffer ",
+                 "holds ", replay.size(),
+                 " — the annotations were built for a different trace");
+    }
+    if (fwd_store.size() != replay.size()) {
+        PP_FATAL("replay annotations for workload '", replay.name,
+                 "' carry ", fwd_store.size(), " forwarding entries for ",
+                 replay.size(),
+                 " ops — the annotations were built for a different trace");
+    }
+    for (std::size_t i = 0; i < fwd_store.size(); ++i) {
+        if (fwd_store[i] != kNoForwardingStore &&
+            fwd_store[i] >= num_stores) {
+            PP_FATAL("replay annotations for workload '", replay.name,
+                     "' forward op ", i, " from store ", fwd_store[i],
+                     " but only ", num_stores,
+                     " stores were recorded — corrupt annotation set");
+        }
+    }
+}
+
 MicroarchKey
 microarchKeyOf(const PipelineConfig &config, std::size_t n_ops)
 {

@@ -95,6 +95,17 @@ struct ReplayAnnotations
     {
         return key == microarchKeyOf(config, n_ops);
     }
+
+    /**
+     * Abort (fatal, naming the workload) unless these annotations
+     * cover @p replay op for op: the flags and fwd_store arrays must
+     * both have exactly one entry per replay op, and every recorded
+     * forwarding index must point at one of the recorded stores. The
+     * timing walks index these arrays by op position without bounds
+     * checks, so a mismatched annotation set must be rejected here —
+     * with a diagnosable error — instead of walking out of bounds.
+     */
+    void validateFor(const ReplayBuffer &replay) const;
 };
 
 /**

@@ -87,4 +87,23 @@ SimResult::ledgerTotal() const
     return sum;
 }
 
+std::uint64_t
+ledgerHash(const SimResult &res)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h = (h ^ (v & 0xff)) * 1099511628211ull;
+            v >>= 8;
+        }
+    };
+    for (std::size_t b = 0; b < kNumStallBuckets; ++b)
+        mix(res.ledgerCycles(static_cast<StallBucket>(b)));
+    mix(res.load_interlock_events);
+    mix(res.fp_interlock_events);
+    mix(res.int_interlock_events);
+    mix(static_cast<std::uint64_t>(res.ledger_residual));
+    return h;
+}
+
 } // namespace pipedepth

@@ -141,6 +141,16 @@ struct SimResult
     std::uint64_t ledgerTotal() const;
 };
 
+/**
+ * FNV-1a content hash of the cycle-accounting view of a run: every
+ * ledger bucket in StallBucket order, the interlock event counters
+ * and the residual. A narrower pin than the full serialized result —
+ * golden tables carry both so a drift in stall *attribution* (which
+ * bucket a cycle lands in) is named as such even though the full
+ * result hash moves too. See tests/sweep/golden_sim_hashes.inc.
+ */
+std::uint64_t ledgerHash(const SimResult &res);
+
 } // namespace pipedepth
 
 #endif // PIPEDEPTH_UARCH_SIM_RESULT_HH

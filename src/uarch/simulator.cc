@@ -2,163 +2,23 @@
 
 #include <algorithm>
 #include <array>
-#include <map>
 #include <vector>
 
 #include "common/logging.hh"
 #include "ledger/stall_ledger.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/telemetry.hh"
+#include "uarch/walk_state.hh"
 
 namespace pipedepth
 {
 
-namespace
-{
-
-using Cycle = std::int64_t;
-
-/**
- * Enforces a per-cycle width limit: at most `width` grants per cycle,
- * given non-decreasing candidates. The stored value at the cursor is
- * the grant time `width` grants ago; the new grant must be at least
- * one cycle later.
- */
-class SlotRing
-{
-  public:
-    explicit SlotRing(int width)
-        : times_(static_cast<std::size_t>(width), -1)
-    {
-        PP_ASSERT(width >= 1, "width must be positive");
-    }
-
-    Cycle
-    grant(Cycle candidate)
-    {
-        const Cycle t = std::max(candidate, times_[idx_] + 1);
-        times_[idx_] = t;
-        if (++idx_ == times_.size())
-            idx_ = 0;
-        return t;
-    }
-
-  private:
-    std::vector<Cycle> times_;
-    std::size_t idx_ = 0;
-};
-
-/**
- * Enforces a buffer capacity: a new entry may not be admitted until
- * the entry `capacity` admissions ago has left. Call entryOk() to get
- * the earliest admission time, then push() the eventual departure
- * time of the admitted entry.
- */
-class CapacityRing
-{
-  public:
-    explicit CapacityRing(int capacity)
-        : exits_(static_cast<std::size_t>(capacity), -1)
-    {
-        PP_ASSERT(capacity >= 1, "capacity must be positive");
-    }
-
-    Cycle
-    entryOk(Cycle candidate) const
-    {
-        return std::max(candidate, exits_[idx_] + 1);
-    }
-
-    void
-    push(Cycle exit_time)
-    {
-        exits_[idx_] = exit_time;
-        if (++idx_ == exits_.size())
-            idx_ = 0;
-    }
-
-  private:
-    std::vector<Cycle> exits_;
-    std::size_t idx_ = 0;
-};
-
-/**
- * Width enforcement for *out-of-order* issue: finds the earliest
- * cycle at or after a candidate with a free issue port. Unlike
- * SlotRing this accepts non-monotonic candidates; bookkeeping is a
- * map of per-cycle issue counts, pruned behind a low-water mark.
- */
-class IssuePorts
-{
-  public:
-    explicit IssuePorts(int width) : width_(width)
-    {
-        PP_ASSERT(width >= 1, "width must be positive");
-    }
-
-    Cycle
-    grant(Cycle candidate)
-    {
-        Cycle t = std::max<Cycle>(candidate, 0);
-        auto it = counts_.find(t);
-        while (it != counts_.end() && it->second >= width_) {
-            ++t;
-            it = counts_.find(t);
-        }
-        ++counts_[t];
-        return t;
-    }
-
-    /** Drop bookkeeping for cycles before @p cycle. */
-    void
-    prune(Cycle cycle)
-    {
-        counts_.erase(counts_.begin(), counts_.lower_bound(cycle));
-    }
-
-  private:
-    int width_;
-    std::map<Cycle, int> counts_;
-};
-
-/**
- * Accumulates the union of activity intervals of one unit. Exact for
- * non-decreasing interval starts (true for every pipeline unit here
- * except Exec Q entries, where the approximation slightly undercounts
- * overlapped residency).
- */
-struct Activity
-{
-    Cycle last_end = 0;
-    std::uint64_t active = 0;
-    std::uint64_t occupancy = 0;
-    std::uint64_t ops = 0;
-
-    void
-    add(Cycle start, Cycle end)
-    {
-        if (end <= start)
-            return;
-        ++ops;
-        occupancy += static_cast<std::uint64_t>(end - start);
-        const Cycle s = std::max(start, last_end);
-        if (end > s) {
-            active += static_cast<std::uint64_t>(end - s);
-            last_end = end;
-        }
-    }
-};
-
-/** What kind of producer last wrote a register (for attribution). */
-enum class ProducerKind : std::uint8_t
-{
-    None,
-    Load,
-    Fp,
-    Int,
-};
-
-} // namespace
+using walk::Activity;
+using walk::CapacityRing;
+using walk::Cycle;
+using walk::IssuePorts;
+using walk::ProducerKind;
+using walk::SlotRing;
 
 SimResult
 simulate(const ReplayBuffer &replay, const ReplayAnnotations &annotations,
@@ -167,6 +27,7 @@ simulate(const ReplayBuffer &replay, const ReplayAnnotations &annotations,
     config.validate();
     if (replay.empty())
         PP_FATAL("cannot simulate an empty trace");
+    annotations.validateFor(replay);
     PP_ASSERT(annotations.matches(config, replay.size()),
               "replay annotations do not match this configuration");
 
@@ -252,22 +113,11 @@ simulate(const ReplayBuffer &replay, const ReplayAnnotations &annotations,
      */
     using Cause = StallBucket;
 
-    // Classify a wait on a register by its producer; a load that
-    // missed the D-cache is a constant-time memory stall, not a
-    // depth-scaled interlock. A wait on a never-written register is
-    // no interlock at all — it must not invent an integer hazard.
+    // Producer-kind classification shared with the fused walk
+    // (walk_state.hh): the attribution rules are part of the
+    // byte-identity contract between the two kernels.
     auto dep_cause = [](ProducerKind kind, bool missed) {
-        switch (kind) {
-          case ProducerKind::Load:
-            return missed ? Cause::DCacheMiss : Cause::DepLoad;
-          case ProducerKind::Fp:
-            return Cause::DepFp;
-          case ProducerKind::Int:
-            return Cause::DepInt;
-          case ProducerKind::None:
-            break;
-        }
-        return Cause::Other;
+        return walk::depCause(kind, missed);
     };
 
     StallLedger ledger(config.width);

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Timing-walk state primitives shared by the two walk kernels.
+ *
+ * The per-depth reference walk (simulator.cc) and the fused
+ * multi-depth walk (multi_depth_walk.cc) must apply *exactly* the
+ * same pipeline constraints — byte-identity of their results is the
+ * contract pinned by tests/sweep/golden_sim_hashes.inc and the
+ * differential oracle in tests/uarch/test_multi_depth_walk.cc. The
+ * scalar building blocks live here so both kernels share one
+ * definition instead of drifting apart in two anonymous namespaces.
+ *
+ * Everything in this header is an internal detail of src/uarch; it is
+ * not part of the library surface (simulator.hh / multi_depth_walk.hh
+ * are).
+ */
+
+#ifndef PIPEDEPTH_UARCH_WALK_STATE_HH
+#define PIPEDEPTH_UARCH_WALK_STATE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "ledger/stall_ledger.hh"
+
+namespace pipedepth
+{
+namespace walk
+{
+
+using Cycle = std::int64_t;
+
+/**
+ * Enforces a per-cycle width limit: at most `width` grants per cycle,
+ * given non-decreasing candidates. The stored value at the cursor is
+ * the grant time `width` grants ago; the new grant must be at least
+ * one cycle later.
+ */
+class SlotRing
+{
+  public:
+    explicit SlotRing(int width)
+        : times_(static_cast<std::size_t>(width), -1)
+    {
+        PP_ASSERT(width >= 1, "width must be positive");
+    }
+
+    Cycle
+    grant(Cycle candidate)
+    {
+        const Cycle t = std::max(candidate, times_[idx_] + 1);
+        times_[idx_] = t;
+        if (++idx_ == times_.size())
+            idx_ = 0;
+        return t;
+    }
+
+  private:
+    std::vector<Cycle> times_;
+    std::size_t idx_ = 0;
+};
+
+/**
+ * Enforces a buffer capacity: a new entry may not be admitted until
+ * the entry `capacity` admissions ago has left. Call entryOk() to get
+ * the earliest admission time, then push() the eventual departure
+ * time of the admitted entry.
+ */
+class CapacityRing
+{
+  public:
+    explicit CapacityRing(int capacity)
+        : exits_(static_cast<std::size_t>(capacity), -1)
+    {
+        PP_ASSERT(capacity >= 1, "capacity must be positive");
+    }
+
+    Cycle
+    entryOk(Cycle candidate) const
+    {
+        return std::max(candidate, exits_[idx_] + 1);
+    }
+
+    void
+    push(Cycle exit_time)
+    {
+        exits_[idx_] = exit_time;
+        if (++idx_ == exits_.size())
+            idx_ = 0;
+    }
+
+  private:
+    std::vector<Cycle> exits_;
+    std::size_t idx_ = 0;
+};
+
+/**
+ * Width enforcement for *out-of-order* issue: finds the earliest
+ * cycle at or after a candidate with a free issue port. Unlike
+ * SlotRing this accepts non-monotonic candidates; bookkeeping is a
+ * map of per-cycle issue counts, pruned behind a low-water mark.
+ */
+class IssuePorts
+{
+  public:
+    explicit IssuePorts(int width) : width_(width)
+    {
+        PP_ASSERT(width >= 1, "width must be positive");
+    }
+
+    Cycle
+    grant(Cycle candidate)
+    {
+        Cycle t = std::max<Cycle>(candidate, 0);
+        auto it = counts_.find(t);
+        while (it != counts_.end() && it->second >= width_) {
+            ++t;
+            it = counts_.find(t);
+        }
+        ++counts_[t];
+        return t;
+    }
+
+    /** Drop bookkeeping for cycles before @p cycle. */
+    void
+    prune(Cycle cycle)
+    {
+        counts_.erase(counts_.begin(), counts_.lower_bound(cycle));
+    }
+
+  private:
+    int width_;
+    std::map<Cycle, int> counts_;
+};
+
+/**
+ * Accumulates the union of activity intervals of one unit. Exact for
+ * non-decreasing interval starts (true for every pipeline unit here
+ * except Exec Q entries, where the approximation slightly undercounts
+ * overlapped residency).
+ */
+struct Activity
+{
+    Cycle last_end = 0;
+    std::uint64_t active = 0;
+    std::uint64_t occupancy = 0;
+    std::uint64_t ops = 0;
+
+    void
+    add(Cycle start, Cycle end)
+    {
+        if (end <= start)
+            return;
+        ++ops;
+        occupancy += static_cast<std::uint64_t>(end - start);
+        // Branch-free union step (this is the hottest statement of
+        // both walk kernels; `end > s` flips unpredictably). With
+        // end > start: if end <= s then s == last_end, so the
+        // unconditional max() leaves last_end unchanged — exactly the
+        // guarded update, minus the mispredicts.
+        const Cycle s = std::max(start, last_end);
+        active += static_cast<std::uint64_t>(std::max<Cycle>(end - s, 0));
+        last_end = std::max(last_end, end);
+    }
+};
+
+/** What kind of producer last wrote a register (for attribution). */
+enum class ProducerKind : std::uint8_t
+{
+    None,
+    Load,
+    Fp,
+    Int,
+};
+
+/**
+ * Classify a wait on a register by its producer; a load that missed
+ * the D-cache is a constant-time memory stall, not a depth-scaled
+ * interlock. A wait on a never-written register is no interlock at
+ * all — it must not invent an integer hazard.
+ */
+inline StallBucket
+depCause(ProducerKind kind, bool missed)
+{
+    switch (kind) {
+      case ProducerKind::Load:
+        return missed ? StallBucket::DCacheMiss : StallBucket::DepLoad;
+      case ProducerKind::Fp:
+        return StallBucket::DepFp;
+      case ProducerKind::Int:
+        return StallBucket::DepInt;
+      case ProducerKind::None:
+        break;
+    }
+    return StallBucket::Other;
+}
+
+} // namespace walk
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_UARCH_WALK_STATE_HH

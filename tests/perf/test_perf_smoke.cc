@@ -29,6 +29,7 @@
 
 #include "sweep/depth_sweep.hh"
 #include "trace/replay_buffer.hh"
+#include "uarch/multi_depth_walk.hh"
 #include "uarch/replay_annotations.hh"
 #include "uarch/simulator.hh"
 #include "workloads/catalog.hh"
@@ -47,9 +48,12 @@ const char *kSampleWorkloads[] = {"db1", "gcc95", "swim", "mcf00"};
 
 using Clock = std::chrono::steady_clock;
 
-/** Median instructions/second of @p reps passes over the sample. */
+/** Median instructions/second of @p reps passes over the sample.
+ *  With @p fused, the timing walk is one fused multi-depth pass per
+ *  workload (the production path) instead of one reference walk per
+ *  depth. */
 double
-measuredInstructionsPerSecond(int reps)
+measuredInstructionsPerSecond(int reps, bool fused)
 {
     SweepOptions opt;
     opt.trace_length = kTraceLength;
@@ -72,8 +76,15 @@ measuredInstructionsPerSecond(int reps)
             const ReplayBuffer replay = prepareReplay(trace);
             const ReplayAnnotations ann =
                 annotateReplay(replay, configs.front());
-            for (const PipelineConfig &cfg : configs)
-                instructions += simulate(replay, ann, cfg).instructions;
+            if (fused) {
+                for (const SimResult &r :
+                     simulateMultiDepth(replay, ann, configs))
+                    instructions += r.instructions;
+            } else {
+                for (const PipelineConfig &cfg : configs)
+                    instructions +=
+                        simulate(replay, ann, cfg).instructions;
+            }
         }
         const double seconds =
             std::chrono::duration<double>(Clock::now() - t0).count();
@@ -88,7 +99,8 @@ TEST(PerfSmoke, HotPathThroughputAboveBaseline)
     if (std::getenv("PIPEDEPTH_SKIP_PERF") != nullptr)
         GTEST_SKIP() << "PIPEDEPTH_SKIP_PERF set";
 
-    const double measured = measuredInstructionsPerSecond(3);
+    const double measured =
+        measuredInstructionsPerSecond(3, /*fused=*/false);
     const double floor =
         kAllowedFraction * kBaselineInstructionsPerSecond;
     EXPECT_GE(measured, floor)
@@ -99,14 +111,37 @@ TEST(PerfSmoke, HotPathThroughputAboveBaseline)
         << "); see docs/PERFORMANCE.md before touching the baseline";
 }
 
-// Manual helper, excluded from normal runs: prints the measurement
-// so the committed baseline can be refreshed deliberately.
+TEST(PerfSmoke, FusedWalkThroughputAboveBaseline)
+{
+    if (std::getenv("PIPEDEPTH_SKIP_PERF") != nullptr)
+        GTEST_SKIP() << "PIPEDEPTH_SKIP_PERF set";
+
+    const double measured =
+        measuredInstructionsPerSecond(3, /*fused=*/true);
+    const double floor =
+        kAllowedFraction * kBaselineFusedInstructionsPerSecond;
+    EXPECT_GE(measured, floor)
+        << "fused-walk throughput regressed: measured " << measured
+        << " instructions/s against a floor of " << floor << " ("
+        << kAllowedFraction << " x committed baseline "
+        << kBaselineFusedInstructionsPerSecond
+        << "); a fall back to the per-depth path costs far more than "
+        << "this margin — see docs/PERFORMANCE.md";
+}
+
+// Manual helper, excluded from normal runs: prints the measurements
+// so the committed baselines can be refreshed deliberately.
 TEST(PerfSmoke, DISABLED_PrintMeasuredThroughput)
 {
-    const double measured = measuredInstructionsPerSecond(5);
+    const double reference =
+        measuredInstructionsPerSecond(5, /*fused=*/false);
+    const double fused =
+        measuredInstructionsPerSecond(5, /*fused=*/true);
     std::printf("median hot-path throughput: %.0f instructions/s\n"
-                "suggested baseline (x0.75): %.0f\n",
-                measured, 0.75 * measured);
+                "suggested baseline (x0.75): %.0f\n"
+                "median fused-walk throughput: %.0f instructions/s\n"
+                "suggested fused baseline (x0.75): %.0f\n",
+                reference, 0.75 * reference, fused, 0.75 * fused);
 }
 
 } // namespace

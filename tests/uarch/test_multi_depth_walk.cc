@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Differential oracle for the fused multi-depth walk.
+ *
+ * The fused walk's contract is byte-identity with the per-depth
+ * reference walk (see uarch/multi_depth_walk.hh). This suite drives
+ * both kernels over seeded randomized machine shapes — width, issue
+ * discipline, predictor, cache geometry, memory-dependence modeling,
+ * warmup — and over adversarial hand-built traces (one instruction,
+ * all branches, store-forwarding chains), then asserts that every
+ * SimResult serializes to the same bytes and that every ledger
+ * conserves cycles at every depth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "sweep/result_cache.hh"
+#include "trace/generator.hh"
+#include "trace/replay_buffer.hh"
+#include "uarch/multi_depth_walk.hh"
+#include "uarch/simulator.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+/**
+ * Assert field-level equality first (so a regression names the field
+ * that diverged, not just "bytes differ"), then the full serialized
+ * image, which covers every counter, every ledger bucket and the
+ * per-unit stats in one comparison.
+ */
+void
+expectIdentical(const SimResult &ref, const SimResult &fused)
+{
+    SCOPED_TRACE("workload=" + ref.workload + " depth=" +
+                 std::to_string(ref.depth));
+    EXPECT_EQ(ref.cycles, fused.cycles);
+    EXPECT_EQ(ref.instructions, fused.instructions);
+    EXPECT_EQ(ref.branches, fused.branches);
+    EXPECT_EQ(ref.mispredicts, fused.mispredicts);
+    EXPECT_EQ(ref.icache_misses, fused.icache_misses);
+    EXPECT_EQ(ref.dcache_misses, fused.dcache_misses);
+    EXPECT_EQ(ref.l2_accesses, fused.l2_accesses);
+    EXPECT_EQ(ref.l2_misses, fused.l2_misses);
+    for (std::size_t b = 0;
+         b < static_cast<std::size_t>(StallBucket::NumBuckets); ++b) {
+        const auto bucket = static_cast<StallBucket>(b);
+        EXPECT_EQ(ref.ledgerCycles(bucket), fused.ledgerCycles(bucket))
+            << "ledger bucket " << b << " diverged";
+    }
+    EXPECT_EQ(ref.load_interlock_events, fused.load_interlock_events);
+    EXPECT_EQ(ref.fp_interlock_events, fused.fp_interlock_events);
+    EXPECT_EQ(ref.int_interlock_events, fused.int_interlock_events);
+    EXPECT_EQ(ref.ledger_residual, fused.ledger_residual);
+    for (std::size_t u = 0; u < kNumUnits; ++u) {
+        EXPECT_EQ(ref.units[u].active_cycles, fused.units[u].active_cycles)
+            << "unit " << u << " active cycles diverged";
+        EXPECT_EQ(ref.units[u].occupancy, fused.units[u].occupancy);
+        EXPECT_EQ(ref.units[u].ops, fused.units[u].ops);
+    }
+    EXPECT_EQ(serializeSimResult(ref), serializeSimResult(fused))
+        << "serialized results differ";
+}
+
+/** Cycle conservation: the ledger decomposition must be exact. */
+void
+expectConserving(const SimResult &res)
+{
+    SCOPED_TRACE("workload=" + res.workload + " depth=" +
+                 std::to_string(res.depth));
+    EXPECT_EQ(res.ledger_residual, 0);
+    EXPECT_EQ(res.ledgerTotal(), res.cycles);
+}
+
+/**
+ * Run @p trace through the reference walk (once per config) and the
+ * fused walk (one pass), with one shared annotation set, and compare.
+ */
+void
+runDifferential(const Trace &trace, const std::vector<PipelineConfig> &configs)
+{
+    ASSERT_TRUE(canFuseConfigs(configs));
+    const ReplayBuffer replay = prepareReplay(trace);
+    const ReplayAnnotations ann = annotateReplay(replay, configs.front());
+
+    const std::vector<SimResult> fused =
+        simulateMultiDepth(replay, ann, configs);
+    ASSERT_EQ(fused.size(), configs.size());
+
+    for (std::size_t k = 0; k < configs.size(); ++k) {
+        const SimResult ref = simulate(replay, ann, configs[k]);
+        expectIdentical(ref, fused[k]);
+        expectConserving(fused[k]);
+    }
+}
+
+/** A fused config set: one machine shape at several depths. */
+std::vector<PipelineConfig>
+configsAtDepths(const std::vector<int> &depths, bool in_order,
+                const std::function<void(PipelineConfig &)> &customize)
+{
+    std::vector<PipelineConfig> configs;
+    for (int p : depths) {
+        PipelineConfig c = PipelineConfig::forDepth(p, in_order);
+        c.audit_ledger = true;
+        customize(c);
+        c.validate();
+        configs.push_back(c);
+    }
+    return configs;
+}
+
+TEST(MultiDepthWalk, RandomizedConfigsMatchReferenceExactly)
+{
+    // Seeded: the same machine shapes and traces on every run. Each
+    // iteration draws a new shape; parity of the iteration index
+    // forces both issue disciplines and both memory-dependence modes
+    // to appear regardless of the draws.
+    std::mt19937_64 rng(0xC0FFEE5EEDull);
+    for (int iter = 0; iter < 10; ++iter) {
+        SCOPED_TRACE("iteration " + std::to_string(iter));
+        const bool in_order = (iter % 2) == 0;
+        const bool memdep = (iter % 3) != 0;
+
+        const int widths[] = {2, 4, 6};
+        const int width = widths[rng() % 3];
+        const int agen_width = 1 + static_cast<int>(rng() % 2);
+        const auto predictor = static_cast<PredictorKind>(rng() % 3);
+        const std::size_t warmup = (rng() % 2) ? 500 : 0;
+        // Small, sometimes direct-mapped caches: high miss rates
+        // exercise the penalty paths far harder than the defaults.
+        const CacheConfig icache{(rng() % 2) ? 4096u : 8192u, 64, 1};
+        const CacheConfig dcache{(rng() % 2) ? 8192u : 16384u, 64,
+                                 (rng() % 2) ? 1u : 2u};
+        const CacheConfig l2cache{65536, 256, 4};
+
+        // Out-of-order configurations require depth >= 3.
+        const int min_depth = in_order ? 2 : 3;
+        std::vector<int> depths;
+        for (int n = 4 + static_cast<int>(rng() % 3); n > 0; --n)
+            depths.push_back(min_depth +
+                             static_cast<int>(rng() % (31 - min_depth)));
+
+        TraceGenParams params;
+        params.seed = rng();
+        params.length = 3000 + rng() % 3000;
+        params.frac_fp = (iter % 2) ? 0.15 : 0.0;
+        params.frac_div = 0.01;
+        params.data_working_set = 1ull << 16;
+        const Trace trace =
+            generateTrace(params, "rand" + std::to_string(iter));
+
+        runDifferential(
+            trace, configsAtDepths(depths, in_order, [&](PipelineConfig &c) {
+                c.width = width;
+                c.agen_width = agen_width;
+                c.predictor = predictor;
+                c.warmup_instructions = warmup;
+                c.model_memory_dependences = memdep;
+                c.icache = icache;
+                c.dcache = dcache;
+                c.l2cache = l2cache;
+            }));
+    }
+}
+
+TEST(MultiDepthWalk, OneInstructionTrace)
+{
+    Trace t;
+    t.name = "one-op";
+    TraceRecord r;
+    r.op = OpClass::IntAlu;
+    r.pc = 0x400000;
+    r.dst = 1;
+    t.records.push_back(r);
+
+    for (bool in_order : {true, false}) {
+        runDifferential(t, configsAtDepths({in_order ? 2 : 3, 9, 17, 25, 30},
+                                           in_order,
+                                           [](PipelineConfig &) {}));
+    }
+}
+
+TEST(MultiDepthWalk, AllBranchTrace)
+{
+    // Eight static conditional branches, each with its own dynamic
+    // behaviour (always taken, never taken, alternating, ...): a
+    // trace that is nothing but redirects and mispredicts.
+    Trace t;
+    t.name = "all-branch";
+    for (int i = 0; i < 400; ++i) {
+        TraceRecord r;
+        r.op = OpClass::BranchCond;
+        r.pc = 0x500000 + 8 * (i % 8);
+        r.target = 0x500100;
+        switch (i % 8) {
+          case 0: r.taken = true; break;
+          case 1: r.taken = false; break;
+          case 2: r.taken = (i % 2) == 0; break;
+          default: r.taken = (i % 3) == 0; break;
+        }
+        t.records.push_back(r);
+    }
+
+    for (bool in_order : {true, false}) {
+        runDifferential(t, configsAtDepths({in_order ? 2 : 3, 6, 13, 21, 30},
+                                           in_order,
+                                           [](PipelineConfig &) {}));
+    }
+}
+
+TEST(MultiDepthWalk, StoreForwardingChain)
+{
+    // Store/load pairs to the same dword with the store's data late
+    // (produced by a divide): forwarded loads must take the
+    // store-forwarding path identically in both kernels, including
+    // the binding-wait attribution.
+    Trace t;
+    t.name = "fwd-chain";
+    for (int i = 0; i < 200; ++i) {
+        TraceRecord div;
+        div.op = OpClass::IntDiv;
+        div.pc = 0x600000;
+        div.dst = 3;
+        t.records.push_back(div);
+
+        TraceRecord st;
+        st.op = OpClass::Store;
+        st.pc = 0x600008;
+        st.mem_addr = 0x1000 + 64 * (i % 4);
+        st.src1 = 3;
+        st.src3 = 5;
+        t.records.push_back(st);
+
+        TraceRecord ld;
+        ld.op = OpClass::Load;
+        ld.pc = 0x600010;
+        ld.mem_addr = 0x1000 + 64 * (i % 4);
+        ld.dst = 4;
+        ld.src3 = 5;
+        t.records.push_back(ld);
+
+        TraceRecord use;
+        use.op = OpClass::IntAlu;
+        use.pc = 0x600018;
+        use.dst = 6;
+        use.src1 = 4;
+        t.records.push_back(use);
+    }
+
+    for (bool in_order : {true, false}) {
+        runDifferential(t, configsAtDepths(
+                               {in_order ? 2 : 3, 7, 14, 25}, in_order,
+                               [](PipelineConfig &c) {
+                                   c.model_memory_dependences = true;
+                               }));
+    }
+}
+
+TEST(MultiDepthWalk, EmptyConfigListReturnsNothing)
+{
+    Trace t;
+    t.name = "one-op";
+    t.records.push_back(TraceRecord{});
+    const ReplayBuffer replay = prepareReplay(t);
+    const ReplayAnnotations ann =
+        annotateReplay(replay, PipelineConfig::forDepth(6));
+    EXPECT_TRUE(simulateMultiDepth(replay, ann, {}).empty());
+}
+
+TEST(MultiDepthWalkDeath, EmptyTraceIsFatal)
+{
+    const ReplayBuffer empty;
+    const ReplayAnnotations ann;
+    const std::vector<PipelineConfig> configs{PipelineConfig::forDepth(6)};
+    EXPECT_EXIT(simulateMultiDepth(empty, ann, configs),
+                ::testing::ExitedWithCode(1), "empty trace");
+}
+
+TEST(MultiDepthWalk, CanFuseUniformShapes)
+{
+    std::vector<PipelineConfig> configs;
+    for (int p : {2, 10, 20, 30})
+        configs.push_back(PipelineConfig::forDepth(p));
+    EXPECT_TRUE(canFuseConfigs(configs));
+    EXPECT_TRUE(canFuseConfigs({}));
+    EXPECT_TRUE(canFuseConfigs({configs.front()}));
+}
+
+TEST(MultiDepthWalk, CannotFuseMismatchedShapes)
+{
+    const PipelineConfig base = PipelineConfig::forDepth(6);
+    auto mismatch = [&](auto &&mutate) {
+        PipelineConfig other = PipelineConfig::forDepth(12);
+        mutate(other);
+        return canFuseConfigs({base, other});
+    };
+    EXPECT_FALSE(mismatch([](PipelineConfig &c) { c.width = 2; }));
+    EXPECT_FALSE(mismatch([](PipelineConfig &c) { c.agen_width = 1; }));
+    EXPECT_FALSE(mismatch([](PipelineConfig &c) { c.in_order = false; }));
+    EXPECT_FALSE(mismatch([](PipelineConfig &c) { c.fetch_buffer = 4; }));
+    EXPECT_FALSE(mismatch([](PipelineConfig &c) { c.exec_queue = 6; }));
+    EXPECT_FALSE(mismatch([](PipelineConfig &c) { c.max_inflight = 32; }));
+    EXPECT_FALSE(mismatch(
+        [](PipelineConfig &c) { c.model_memory_dependences = true; }));
+}
+
+} // namespace
+} // namespace pipedepth

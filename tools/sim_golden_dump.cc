@@ -10,10 +10,13 @@
  * One line per (workload, depth) cell:
  *
  *   <workload> <depth> <fnv1a-hex-of-serializeSimResult-bytes>
+ *                      <fnv1a-hex-of-ledger-buckets>
  *
  * The serialized cache payload is the canonical byte form of a
- * simulation result, so these hashes pin simulator behaviour bit for
- * bit. Two uses:
+ * simulation result, so the first hash pins simulator behaviour bit
+ * for bit; the second (uarch/sim_result.hh ledgerHash) pins the
+ * per-depth stall-cycle decomposition separately, so a drift in
+ * stall *attribution* is named as such. Two uses:
  *
  *  - regenerating the golden table consumed by
  *    tests/sweep/test_engine_determinism.cc after an *intentional*
@@ -122,9 +125,10 @@ main(int argc, char **argv)
         const Trace trace = spec.makeTrace(length);
         for (int p : depths) {
             const SimResult r = simulate(trace, opt.configAtDepth(p));
-            std::printf("%s %d %016llx\n", spec.name.c_str(), p,
+            std::printf("%s %d %016llx %016llx\n", spec.name.c_str(), p,
                         static_cast<unsigned long long>(
-                            fnv1a(serializeSimResult(r))));
+                            fnv1a(serializeSimResult(r))),
+                        static_cast<unsigned long long>(ledgerHash(r)));
         }
     }
     return 0;
