@@ -33,6 +33,19 @@ main(int argc, char **argv)
     std::map<std::string, std::map<int, int>> histograms;
 
     for (const auto &s : sweeps) {
+        // A sweep whose reference cell was quarantined (cycles == 0)
+        // has no extracted power model, so its metric curve — and
+        // with it the fitted optimum — is meaningless. Leave it out
+        // of the class distribution instead of binning garbage.
+        const std::size_t ref_index = static_cast<std::size_t>(
+            s.options.reference_depth - s.options.min_depth);
+        if (s.runs.at(ref_index).cycles == 0) {
+            std::fprintf(stderr,
+                         "fig7: skipping %s (reference cell "
+                         "quarantined, %zu hole(s))\n",
+                         s.spec.name.c_str(), s.failures.size());
+            continue;
+        }
         bool interior = false;
         const double p = s.cubicFitOptimum(3.0, true, &interior);
         const std::string cls = workloadClassName(s.spec.cls);
@@ -97,6 +110,8 @@ main(int argc, char **argv)
         const std::size_t ref = static_cast<std::size_t>(
             s2.options.reference_depth - s2.options.min_depth);
         const SimResult &r = s2.runs.at(ref);
+        if (r.cycles == 0) // quarantined hole: no ledger to share
+            continue;
         auto &acc = shares[workloadClassName(s2.spec.cls)];
         ++counts[workloadClassName(s2.spec.cls)];
         for (std::size_t b = 0; b < kNumStallBuckets; ++b) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/numeric.hh"
 
 namespace pipedepth
 {
@@ -135,9 +136,11 @@ configureEntry(const std::string &entry, std::string *error)
         }
     } else if (mode.rfind("p:", 0) == 0) {
         site.mode = Mode::Probability;
-        char *end = nullptr;
-        site.probability = std::strtod(mode.c_str() + 2, &end);
-        if (end == mode.c_str() + 2 || *end != '\0' ||
+        // Locale-independent, whole-string parse: "p:0.5" must mean
+        // 0.5 under LC_NUMERIC=de_DE too, and trailing garbage
+        // ("p:0.5x", "p:0,5") is a spec error, not something to
+        // silently ignore (common/numeric.hh).
+        if (!parseDoubleFullC(mode.substr(2), &site.probability) ||
             site.probability < 0.0 || site.probability > 1.0) {
             if (error)
                 *error = "p: needs a probability in [0, 1] in '" + entry +

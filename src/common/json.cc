@@ -2,8 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+
+#include "common/numeric.hh"
 
 namespace pipedepth
 {
@@ -264,17 +265,13 @@ class Parser
         }
         if (p_ == start)
             return false;
-        // strtod needs a terminated buffer; numbers are short.
-        char buf[64];
-        const std::size_t n = static_cast<std::size_t>(p_ - start);
-        if (n >= sizeof(buf))
+        // Locale-independent by construction: a JSON number is always
+        // '.'-separated, whatever LC_NUMERIC says (common/numeric.hh).
+        const char *parse_end = nullptr;
+        if (!parseDoubleC(start, p_, &out->number, &parse_end) ||
+            parse_end != p_) {
             return false;
-        std::memcpy(buf, start, n);
-        buf[n] = '\0';
-        char *parse_end = nullptr;
-        out->number = std::strtod(buf, &parse_end);
-        if (parse_end != buf + n)
-            return false;
+        }
         out->kind = JsonValue::Kind::Number;
         return true;
     }
@@ -345,13 +342,14 @@ jsonNumber(double v)
 {
     if (!std::isfinite(v))
         return "null"; // JSON has no Inf/NaN; absent beats invalid
-    char buf[40];
+    // snprintf("%f"/"%g") would print the locale's decimal separator
+    // and corrupt the document under e.g. LC_NUMERIC=de_DE; both
+    // paths here are locale-independent (common/numeric.hh).
     if (v == std::floor(v) && std::fabs(v) < 1e15) {
-        std::snprintf(buf, sizeof(buf), "%.0f", v);
-    } else {
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        const long long i = static_cast<long long>(v);
+        return (i == 0 && std::signbit(v)) ? "-0" : std::to_string(i);
     }
-    return buf;
+    return formatDoubleC(v, 17);
 }
 
 std::string

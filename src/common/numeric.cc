@@ -1,0 +1,49 @@
+#include "common/numeric.hh"
+
+#include <charconv>
+#include <system_error>
+
+namespace pipedepth
+{
+
+bool
+parseDoubleC(const char *begin, const char *end, double *out,
+             const char **parse_end)
+{
+    if (parse_end)
+        *parse_end = begin;
+    // from_chars rejects a leading '+' (strtod accepts it); no caller
+    // emits one, and rejecting is the stricter, JSON-compatible
+    // behavior.
+    const std::from_chars_result r = std::from_chars(begin, end, *out);
+    if (r.ec == std::errc::result_out_of_range)
+        return false;
+    if (r.ec != std::errc())
+        return false;
+    if (parse_end)
+        *parse_end = r.ptr;
+    return true;
+}
+
+bool
+parseDoubleFullC(const std::string &text, double *out)
+{
+    const char *end = nullptr;
+    if (!parseDoubleC(text.data(), text.data() + text.size(), out, &end))
+        return false;
+    return end == text.data() + text.size() && !text.empty();
+}
+
+std::string
+formatDoubleC(double v, int precision)
+{
+    char buf[64];
+    const std::to_chars_result r =
+        std::to_chars(buf, buf + sizeof(buf), v,
+                      std::chars_format::general, precision);
+    if (r.ec != std::errc())
+        return "0"; // cannot happen for any finite double at p <= 17
+    return std::string(buf, r.ptr);
+}
+
+} // namespace pipedepth

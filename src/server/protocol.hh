@@ -1,0 +1,121 @@
+/**
+ * @file
+ * pipesimd wire protocol: newline-delimited JSON over a local socket.
+ *
+ * One request per line, one or more response lines per request, every
+ * line a self-contained JSON object (docs/SERVER.md documents the
+ * schema). This layer is socket-free — parsing, validation and
+ * response rendering are pure string functions — so the protocol
+ * contract is testable without a running daemon, and the daemon's I/O
+ * loop stays a dumb byte pump.
+ *
+ * Requests are validated strictly: unknown fields, wrong types,
+ * out-of-range depths and unknown workloads are rejected with a
+ * structured error naming the offence, never by dropping the
+ * connection. The field limits mirror SweepOptions::validate(), which
+ * aborts the process on violation — the daemon must reject the same
+ * garbage *before* it reaches the engine.
+ */
+
+#ifndef PIPEDEPTH_SERVER_PROTOCOL_HH
+#define PIPEDEPTH_SERVER_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sweep/depth_sweep.hh"
+#include "uarch/sim_result.hh"
+
+namespace pipedepth
+{
+
+/** Stable wire error codes (the `code` field of error lines). */
+namespace proto_error
+{
+inline constexpr const char *kBadJson = "bad_json";
+inline constexpr const char *kBadRequest = "bad_request";
+inline constexpr const char *kUnknownWorkload = "unknown_workload";
+inline constexpr const char *kBadRange = "bad_range";
+inline constexpr const char *kPayloadTooLarge = "payload_too_large";
+inline constexpr const char *kOverloaded = "overloaded";
+inline constexpr const char *kDeadlineExceeded = "deadline_exceeded";
+inline constexpr const char *kShuttingDown = "shutting_down";
+} // namespace proto_error
+
+/** One validated client request. */
+struct ServerRequest
+{
+    enum class Type
+    {
+        Sweep,   //!< stream per-cell results, then a done line
+        Optimum, //!< done line only, with the fitted optimum depth
+    };
+
+    std::string id; //!< client-chosen, echoed on every response line
+    Type type = Type::Sweep;
+    std::string workload; //!< catalog name (validated)
+    int min_depth = 2;
+    int max_depth = 25;
+    int reference_depth = 8;
+    std::size_t trace_length = 200000;
+    std::size_t warmup = 60000;
+    double metric_exponent = 3.0;   //!< m of BIPS^m/W
+    std::uint64_t deadline_ms = 0;  //!< 0 = no deadline
+
+    /** The equivalent engine options (always valid post-parse). */
+    SweepOptions sweepOptions() const;
+
+    /**
+     * Scheduling shape: requests with equal keys run in the same
+     * engine grid (one fused multi-depth walk over the deduplicated
+     * workload set). The workload is deliberately NOT part of the
+     * key; the metric exponent is response-side only.
+     */
+    std::string shapeKey() const;
+};
+
+/**
+ * Parse and validate one request line. On failure @p error_code gets
+ * one of the proto_error constants and @p error_message a
+ * human-readable reason; @p out->id is still filled when the id field
+ * itself parsed, so the error response can be correlated.
+ */
+bool parseServerRequest(const std::string &line, ServerRequest *out,
+                        std::string *error_code,
+                        std::string *error_message);
+
+/// @name Response lines (each includes the trailing newline)
+/// @{
+
+/** Structured error: {"id":..,"type":"error","code":..,"message":..}. */
+std::string errorResponseLine(const std::string &id,
+                              const std::string &code,
+                              const std::string &message);
+
+/**
+ * One resolved grid cell of a sweep request. @p metric is the
+ * request's BIPS^m/W value for this cell (gated power model).
+ */
+std::string cellResponseLine(const std::string &id, const SimResult &r,
+                             double metric);
+
+/** Terminal line of a successful request. */
+struct DoneInfo
+{
+    std::size_t cells = 0;    //!< grid cells of this request
+    std::size_t cached = 0;   //!< served from the result cache
+    std::size_t computed = 0; //!< simulated for this batch
+    std::size_t holes = 0;    //!< quarantined cells (explicit holes)
+    double optimum = 0.0;     //!< cubic-fit optimum depth
+    bool interior = false;    //!< peak interior to the sampled range
+    double elapsed_ms = 0.0;  //!< admission-to-response latency
+    std::string manifest;     //!< daemon manifest path ("" when off)
+};
+
+std::string doneResponseLine(const std::string &id, const DoneInfo &info);
+
+/// @}
+
+} // namespace pipedepth
+
+#endif // PIPEDEPTH_SERVER_PROTOCOL_HH

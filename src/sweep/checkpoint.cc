@@ -1,6 +1,10 @@
 #include "sweep/checkpoint.hh"
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +13,7 @@
 #include "common/failpoint.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "telemetry/metrics.hh"
 
 namespace pipedepth
 {
@@ -74,7 +79,69 @@ failRead(std::string *error, const std::string &why)
     return false;
 }
 
+/**
+ * Is @p filename a `<base>.tmp.<pid>` journal of a dead writer? Same
+ * contract as the result cache's stale-temp detection: a parse
+ * failure or a live (or EPERM) pid keeps the file.
+ */
+bool
+isStaleCheckpointTemp(const std::string &filename,
+                      const std::string &base)
+{
+    const std::string prefix = base + ".tmp.";
+    if (filename.rfind(prefix, 0) != 0)
+        return false;
+    const char *digits = filename.c_str() + prefix.size();
+    char *end = nullptr;
+    const unsigned long pid = std::strtoul(digits, &end, 10);
+    if (end == digits || *end != '\0' || pid == 0)
+        return false;
+    if (pid == static_cast<unsigned long>(::getpid()))
+        return false;
+    return ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
+}
+
 } // namespace
+
+std::size_t
+sweepStaleCheckpointTempFiles(const std::string &path)
+{
+    static Counter &swept =
+        MetricsRegistry::instance().counter("checkpoint.tmp.sweep");
+
+    const std::filesystem::path target(path);
+    const std::string base = target.filename().string();
+    if (base.empty())
+        return 0;
+    std::filesystem::path dir = target.parent_path();
+    if (dir.empty())
+        dir = ".";
+
+    std::size_t removed = 0;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string filename = entry.path().filename().string();
+        if (!isStaleCheckpointTemp(filename, base))
+            continue;
+        std::error_code remove_ec;
+        if (std::filesystem::remove(entry.path(), remove_ec) &&
+            !remove_ec) {
+            ++removed;
+            swept.add();
+            PP_DEBUG("checkpoint: swept stale temp file '", filename,
+                     "'");
+        }
+    }
+    if (removed) {
+        PP_INFORM("checkpoint: swept ", removed,
+                  " stale temp file(s) left by dead writers next to '",
+                  path, "'");
+    }
+    return removed;
+}
 
 bool
 readCheckpoint(const std::string &path, SweepCheckpoint *out,

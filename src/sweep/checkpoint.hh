@@ -69,6 +69,19 @@ bool writeCheckpoint(const std::string &path,
 bool readCheckpoint(const std::string &path, SweepCheckpoint *out,
                     std::string *error = nullptr);
 
+/**
+ * Remove `<path>.tmp.<pid>` journals whose writer process is gone
+ * (SIGKILLed mid-write, before the atomic rename). Mirrors
+ * ResultCache::sweepStaleTempFiles — without it a crash-looping run
+ * accumulates orphans next to its checkpoint forever. Runs
+ * automatically when SweepEngine::attachCheckpoint opens the journal;
+ * exposed for tools and tests. Removals are counted under the
+ * `checkpoint.tmp.sweep` metric. A live (or not-ours-to-signal) pid
+ * keeps the file — sweeping must never race an in-flight write.
+ * @return files removed
+ */
+std::size_t sweepStaleCheckpointTempFiles(const std::string &path);
+
 } // namespace pipedepth
 
 #endif // PIPEDEPTH_SWEEP_CHECKPOINT_HH

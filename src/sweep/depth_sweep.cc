@@ -51,13 +51,23 @@ SweepOptions::validate() const
     }
 }
 
+// Quarantined holes are default-constructed cells (cycles == 0, see
+// sweep_engine.cc). Every accessor below skips them with the same
+// predicate, so the vectors stay zipped by index: depths()[i],
+// metric()[i], bips()[i], latchCounts()[i] and theoryCurve()[i] always
+// describe the same surviving cell. Folding a hole in instead would
+// feed 0-cycle garbage (NaN BIPS, zero latency) into the cubic and
+// power-law fits and silently bend every derived optimum.
+
 std::vector<double>
 SweepResult::depths() const
 {
     std::vector<double> out;
     out.reserve(runs.size());
-    for (const auto &r : runs)
-        out.push_back(static_cast<double>(r.depth));
+    for (const auto &r : runs) {
+        if (r.cycles != 0)
+            out.push_back(static_cast<double>(r.depth));
+    }
     return out;
 }
 
@@ -66,8 +76,10 @@ SweepResult::metric(double m, bool gated) const
 {
     std::vector<double> out;
     out.reserve(runs.size());
-    for (const auto &r : runs)
-        out.push_back(power_model.metric(r, m, gated));
+    for (const auto &r : runs) {
+        if (r.cycles != 0)
+            out.push_back(power_model.metric(r, m, gated));
+    }
     return out;
 }
 
@@ -76,8 +88,10 @@ SweepResult::bips() const
 {
     std::vector<double> out;
     out.reserve(runs.size());
-    for (const auto &r : runs)
-        out.push_back(r.bips());
+    for (const auto &r : runs) {
+        if (r.cycles != 0)
+            out.push_back(r.bips());
+    }
     return out;
 }
 
@@ -121,8 +135,10 @@ SweepResult::theoryCurve(double m, bool gated, double *r2,
     const PowerPerformanceMetric theory(mp, pw, m);
     std::vector<double> t;
     t.reserve(runs.size());
-    for (const auto &r : runs)
-        t.push_back(theory(static_cast<double>(r.depth)));
+    for (const auto &r : runs) {
+        if (r.cycles != 0)
+            t.push_back(theory(static_cast<double>(r.depth)));
+    }
 
     const std::vector<double> sim = metric(m, gated);
     const double scale = fitScaleFactor(sim, t);
@@ -138,8 +154,10 @@ SweepResult::latchCounts() const
 {
     std::vector<double> out;
     out.reserve(runs.size());
-    for (const auto &r : runs)
-        out.push_back(power_model.latchCount(r.config));
+    for (const auto &r : runs) {
+        if (r.cycles != 0)
+            out.push_back(power_model.latchCount(r.config));
+    }
     return out;
 }
 

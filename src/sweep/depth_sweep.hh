@@ -83,13 +83,19 @@ struct SweepResult
     /** Did every cell produce a result (no quarantined holes)? */
     bool complete() const { return failures.empty(); }
 
-    /** Depths as doubles (x axis of every figure). */
+    /**
+     * Depths as doubles (x axis of every figure). Quarantined holes
+     * (cells with cycles == 0) are skipped — as they are by metric(),
+     * bips(), latchCounts() and theoryCurve(), so the vectors stay
+     * zipped by index and the fits below run over surviving cells
+     * only, never over 0-cycle placeholders.
+     */
     std::vector<double> depths() const;
 
-    /** Simulated metric BIPS^m/W per depth. */
+    /** Simulated metric BIPS^m/W per depth; holes skipped. */
     std::vector<double> metric(double m, bool gated) const;
 
-    /** Simulated BIPS per depth (the m -> infinity metric). */
+    /** Simulated BIPS per depth (m -> infinity); holes skipped. */
     std::vector<double> bips() const;
 
     /**
@@ -119,7 +125,7 @@ struct SweepResult
                                     double *r2 = nullptr,
                                     bool extended = false) const;
 
-    /** Latch counts per depth as measured by the power model. */
+    /** Latch counts per depth (power model); holes skipped. */
     std::vector<double> latchCounts() const;
 };
 

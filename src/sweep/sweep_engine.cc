@@ -923,6 +923,10 @@ SweepEngine::attachCheckpoint(const std::string &path,
     const std::lock_guard<std::mutex> lock(checkpoint_mutex_);
     checkpoint_path_ = path;
     checkpoint_ = std::move(prototype);
+    // Opening the journal is the moment to collect `.tmp.<pid>`
+    // orphans a SIGKILLed predecessor left beside it (the write path
+    // itself only ever renames or removes its own temp file).
+    sweepStaleCheckpointTempFiles(path);
 }
 
 void

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "common/failpoint.hh"
@@ -16,6 +18,37 @@ namespace pipedepth
 {
 namespace
 {
+
+/** LC_NUMERIC switched to a comma-decimal locale when one is
+ *  installed (mirrors tests/common/test_json.cc). */
+class ScopedCommaLocale
+{
+  public:
+    ScopedCommaLocale()
+    {
+        const char *previous = std::setlocale(LC_NUMERIC, nullptr);
+        previous_ = previous ? previous : "C";
+        for (const char *name :
+             {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8", "fr_FR",
+              "it_IT.UTF-8", "es_ES.UTF-8"}) {
+            if (std::setlocale(LC_NUMERIC, name) &&
+                std::strcmp(std::localeconv()->decimal_point, ",") ==
+                    0) {
+                active_ = true;
+                return;
+            }
+        }
+        std::setlocale(LC_NUMERIC, previous_.c_str());
+    }
+
+    ~ScopedCommaLocale() { std::setlocale(LC_NUMERIC, previous_.c_str()); }
+
+    bool active() const { return active_; }
+
+  private:
+    std::string previous_;
+    bool active_ = false;
+};
 
 class FailpointTest : public ::testing::Test
 {
@@ -150,6 +183,44 @@ TEST_F(FailpointTest, MalformedSpecsRejectedWithReason)
     EXPECT_FALSE(failpoints::configure("a=p:2", &error));
     EXPECT_FALSE(failpoints::configure("a=p:-1", &error));
     EXPECT_FALSE(failpoints::configure("=always", &error));
+}
+
+TEST_F(FailpointTest, ProbabilitySpecRejectsTrailingGarbage)
+{
+    // "p:0.5x" once parsed as 0.5 with the garbage silently dropped;
+    // a typo'd probability must be a spec error, not a surprise rate.
+    std::string error;
+    EXPECT_FALSE(failpoints::configure("a=p:0.5x", &error));
+    EXPECT_NE(error.find("p:"), std::string::npos);
+    EXPECT_FALSE(failpoints::configure("a=p:0.5 ", &error));
+    EXPECT_FALSE(failpoints::configure("a=p:0,5", &error));
+    EXPECT_FALSE(failpoints::configure("a=p:0.5e", &error));
+    EXPECT_FALSE(failpoints::configure("a=p:", &error));
+    EXPECT_TRUE(failpoints::configure("a=p:0.5"));
+    EXPECT_TRUE(failpoints::configure("a=p:5e-1"));
+}
+
+TEST_F(FailpointTest, ProbabilitySpecIsLocaleIndependent)
+{
+    // Same seed, same spec: the fire pattern must be identical no
+    // matter what LC_NUMERIC says — under de_DE a locale-dependent
+    // strtod read "p:0.35" as p:0 and the site went silent.
+    auto draw = [] {
+        failpoints::reset();
+        failpoints::setSeed(7);
+        EXPECT_TRUE(failpoints::configure("test.p=p:0.35"));
+        std::vector<bool> fired;
+        for (int i = 0; i < 64; ++i)
+            fired.push_back(PP_FAILPOINT_FIRED("test.p"));
+        return fired;
+    };
+    const std::vector<bool> c_locale = draw();
+    EXPECT_NE(std::count(c_locale.begin(), c_locale.end(), true), 0);
+
+    ScopedCommaLocale comma;
+    if (!comma.active())
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    EXPECT_EQ(draw(), c_locale);
 }
 
 TEST_F(FailpointTest, ResetDisarmsAndZeroesCounts)

@@ -3,14 +3,53 @@
  * Tests for the minimal JSON reader/writer the telemetry layer uses.
  */
 
+#include <clocale>
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "common/json.hh"
+#include "common/numeric.hh"
 
 namespace pipedepth
 {
 namespace
 {
+
+/**
+ * Switch LC_NUMERIC to an installed comma-decimal locale for the
+ * test's lifetime; active() is false when the host has none (stripped
+ * containers often ship only C/C.utf8), in which case callers skip
+ * the comma-specific assertions.
+ */
+class ScopedCommaLocale
+{
+  public:
+    ScopedCommaLocale()
+    {
+        const char *previous = std::setlocale(LC_NUMERIC, nullptr);
+        previous_ = previous ? previous : "C";
+        for (const char *name :
+             {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8", "fr_FR",
+              "it_IT.UTF-8", "es_ES.UTF-8"}) {
+            if (std::setlocale(LC_NUMERIC, name) &&
+                std::strcmp(std::localeconv()->decimal_point, ",") ==
+                    0) {
+                active_ = true;
+                return;
+            }
+        }
+        std::setlocale(LC_NUMERIC, previous_.c_str());
+    }
+
+    ~ScopedCommaLocale() { std::setlocale(LC_NUMERIC, previous_.c_str()); }
+
+    bool active() const { return active_; }
+
+  private:
+    std::string previous_;
+    bool active_ = false;
+};
 
 JsonValue
 parsed(const std::string &text)
@@ -95,6 +134,44 @@ TEST(Json, JsonNumberFormatsIntegersWithoutFraction)
     // Non-integers round-trip through parse.
     const double v = 0.1234567890123;
     EXPECT_EQ(parsed(jsonNumber(v)).number, v);
+}
+
+TEST(Json, NumbersRoundTripExactly)
+{
+    for (const double v :
+         {0.5, -0.225, 1.0 / 3.0, 6.62607015e-34, 1.5e300, 1e-300,
+          123456789.123456, -0.0, 9007199254740993.0}) {
+        EXPECT_EQ(parsed(jsonNumber(v)).number, v) << jsonNumber(v);
+    }
+}
+
+TEST(Json, NumbersAreLocaleIndependent)
+{
+    // Wire traffic, manifests and cache-adjacent metadata all carry
+    // '.'-separated numbers; neither direction may pick up
+    // LC_NUMERIC. The regression this pins: under de_DE, strtod read
+    // "1.5" as 1 and %.17g printed 1.5 as "1,5", corrupting every
+    // document that crossed a comma-decimal process.
+    ScopedCommaLocale comma;
+    if (!comma.active())
+        GTEST_SKIP() << "no comma-decimal locale installed";
+
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    EXPECT_EQ(jsonNumber(-0.225), "-0.225");
+    EXPECT_EQ(parsed("1.5").number, 1.5);
+    EXPECT_EQ(parsed("[-2.25e-1, 3.5]").dump(), "[-0.225,3.5]");
+
+    const double v = 0.1234567890123;
+    EXPECT_EQ(parsed(jsonNumber(v)).number, v);
+
+    // A comma is still not a JSON decimal separator.
+    JsonValue doc;
+    EXPECT_FALSE(JsonValue::parse("1,5", &doc));
+
+    double out = 0.0;
+    EXPECT_TRUE(parseDoubleFullC("2.75", &out));
+    EXPECT_EQ(out, 2.75);
+    EXPECT_FALSE(parseDoubleFullC("2,75", &out));
 }
 
 } // namespace

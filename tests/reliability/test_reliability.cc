@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +34,7 @@
 #include "common/interrupt.hh"
 #include "common/json.hh"
 #include "sweep/checkpoint.hh"
+#include "sweep/depth_sweep.hh"
 #include "sweep/result_cache.hh"
 #include "sweep/sweep_engine.hh"
 #include "telemetry/manifest.hh"
@@ -198,6 +201,72 @@ TEST_F(ReliabilityTest, PartialQuarantineKeepsOtherCellsLive)
         holes += r.cycles == 0 ? 1 : 0;
     EXPECT_EQ(holes, 1u);
     EXPECT_EQ(engine.counters().cells_computed, cellCount(opt) - 1);
+}
+
+TEST_F(ReliabilityTest, QuarantinedHolesAreSkippedByFitsAndAccessors)
+{
+    // Regression: a hole (cycles == 0) used to be folded into
+    // depths()/metric()/bips()/latchCounts() as a 0-cycle run — NaN
+    // BIPS and zero latency bending the cubic and power-law fits.
+    // Every accessor must skip the hole, keeping the vectors zipped.
+    const WorkloadSpec spec = findWorkload("db1");
+    const SweepOptions opt = fastOptions();
+
+    SweepEngine clean = makeEngine(false);
+    const SweepResult full = clean.runSweep(spec, opt);
+    ASSERT_TRUE(full.complete());
+
+    ScopedFailpoints guard("sweep.cell.simulate=once");
+    SweepEngine engine = makeEngine(false, 0);
+    const SweepResult holey = engine.runSweep(spec, opt);
+    ASSERT_EQ(holey.failures.size(), 1u);
+    const int hole_depth = holey.failures[0].depth;
+
+    const std::size_t survivors = cellCount(opt) - 1;
+    const std::vector<double> depths = holey.depths();
+    ASSERT_EQ(depths.size(), survivors);
+    EXPECT_EQ(holey.metric(3.0, true).size(), survivors);
+    EXPECT_EQ(holey.bips().size(), survivors);
+    EXPECT_EQ(holey.latchCounts().size(), survivors);
+    EXPECT_EQ(std::count(depths.begin(), depths.end(),
+                         static_cast<double>(hole_depth)),
+              0);
+    for (const double b : holey.bips())
+        EXPECT_TRUE(std::isfinite(b) && b > 0.0);
+
+    // Surviving cells are byte-identical to the clean sweep, so their
+    // BIPS match exactly when zipped over the surviving depths.
+    const std::vector<double> full_depths = full.depths();
+    const std::vector<double> full_bips = full.bips();
+    const std::vector<double> holey_bips = holey.bips();
+    for (std::size_t i = 0, j = 0; i < full_depths.size(); ++i) {
+        if (full_depths[i] == static_cast<double>(hole_depth))
+            continue;
+        ASSERT_LT(j, depths.size());
+        EXPECT_EQ(depths[j], full_depths[i]);
+        EXPECT_EQ(holey_bips[j], full_bips[i]);
+        ++j;
+    }
+
+    // The fits run over the surviving cells and stay finite.
+    bool interior = false;
+    EXPECT_TRUE(
+        std::isfinite(holey.cubicFitPerformanceOptimum(&interior)));
+    EXPECT_TRUE(
+        std::isfinite(holey.cubicFitOptimum(3.0, true, &interior)));
+    EXPECT_TRUE(std::isfinite(measuredLatchExponent(holey)));
+
+    // When the reference cell survived, extraction (alpha/gamma/N_H)
+    // saw a real run and the theory overlay lines up cell-for-cell.
+    if (hole_depth != opt.reference_depth) {
+        EXPECT_EQ(holey.extracted.alpha, full.extracted.alpha);
+        EXPECT_EQ(holey.extracted.gamma, full.extracted.gamma);
+        EXPECT_EQ(holey.extracted.hazard_ratio,
+                  full.extracted.hazard_ratio);
+        double r2 = 0.0;
+        EXPECT_EQ(holey.theoryCurve(3.0, true, &r2).size(), survivors);
+        EXPECT_TRUE(std::isfinite(r2));
+    }
 }
 
 TEST_F(ReliabilityTest, FailFastStillPropagates)
@@ -382,6 +451,41 @@ TEST_F(ReliabilityTest, EngineJournalsProgressThroughCheckpoint)
     EXPECT_EQ(got.status, "complete");
     EXPECT_EQ(got.cells_done, cellCount(opt));
     EXPECT_EQ(got.cells_total, cellCount(opt));
+}
+
+TEST_F(ReliabilityTest, StaleCheckpointTempFilesSweptOnAttach)
+{
+    // A SIGKILLed writer dies between fopen and rename, orphaning
+    // `<path>.tmp.<pid>`. Attaching the journal must collect exactly
+    // those — never a live writer's temp file, never the checkpoint.
+    const std::string path = (dir_ / "sweep.ckpt").string();
+    SweepCheckpoint cp;
+    cp.tool = "pipesim";
+    ASSERT_TRUE(writeCheckpoint(path, cp));
+
+    const std::string dead = path + ".tmp.999999999"; // pid long dead
+    const std::string live =
+        path + ".tmp." + std::to_string(::getpid());
+    const std::string other =
+        (dir_ / "other.ckpt.tmp.999999999").string();
+    std::ofstream(dead) << "{torn";
+    std::ofstream(live) << "{in flight";
+    std::ofstream(other) << "{torn";
+
+    EXPECT_EQ(sweepStaleCheckpointTempFiles(path), 1u);
+    EXPECT_FALSE(std::filesystem::exists(dead));
+    EXPECT_TRUE(std::filesystem::exists(live));  // writer still alive
+    EXPECT_TRUE(std::filesystem::exists(other)); // different journal
+    EXPECT_TRUE(std::filesystem::exists(path));
+
+    // attachCheckpoint performs the same sweep on open.
+    std::ofstream(dead) << "{torn again";
+    SweepEngine engine = makeEngine(false);
+    SweepCheckpoint proto;
+    proto.tool = "test";
+    engine.attachCheckpoint(path, proto);
+    EXPECT_FALSE(std::filesystem::exists(dead));
+    EXPECT_TRUE(std::filesystem::exists(live));
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Contract tests for the pipesimd daemon (`ctest -L server`).
+ *
+ * Every test talks to a real daemon subprocess over its AF_UNIX
+ * socket — the PIPESIMD_PATH compile definition points at the built
+ * binary — because the contract under test is the wire behaviour:
+ * malformed input of every kind (truncated JSON, unknown fields,
+ * out-of-range depths, oversized payloads) must yield a structured
+ * error line, never a dropped connection or a dead daemon, and a
+ * well-formed follow-up must succeed on both the same and a fresh
+ * connection. The fixture's TearDown doubles as the drain contract:
+ * SIGTERM must produce exit status 0 and unlink the socket.
+ *
+ * The byte-identity test pins the daemon to the batch tool's
+ * numbers: a daemon sweep must reproduce exactly what a local
+ * SweepEngine computes for the same options, bit for bit — the
+ * daemon is a transport in front of the engine, not a second
+ * implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "server/protocol.hh"
+#include "sweep/sweep_engine.hh"
+#include "workloads/catalog.hh"
+
+namespace pipedepth
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kMaxLineBytes = 512;
+
+class ServerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/pp_server_test_XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+        socket_path_ = (dir_ / "pipesimd.sock").string();
+        cache_dir_ = (dir_ / "cache").string();
+
+        daemon_pid_ = ::fork();
+        ASSERT_NE(daemon_pid_, -1);
+        if (daemon_pid_ == 0) {
+            const std::string max_line =
+                std::to_string(kMaxLineBytes);
+            ::execl(PIPESIMD_PATH, PIPESIMD_PATH, "--socket",
+                    socket_path_.c_str(), "--cache-dir",
+                    cache_dir_.c_str(), "--max-line-bytes",
+                    max_line.c_str(), static_cast<char *>(nullptr));
+            _exit(127);
+        }
+
+        // The daemon prints its listening banner after bind; a
+        // successful connect is the portable ready signal.
+        bool up = false;
+        for (int i = 0; i < 200 && !up; ++i) {
+            const int fd = tryConnect();
+            if (fd != -1) {
+                ::close(fd);
+                up = true;
+            } else {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(25));
+            }
+        }
+        ASSERT_TRUE(up) << "pipesimd did not come up";
+    }
+
+    void
+    TearDown() override
+    {
+        if (daemon_pid_ > 0) {
+            EXPECT_EQ(stopDaemon(), 0)
+                << "daemon did not drain cleanly";
+        }
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    /** SIGTERM the daemon and reap it; returns its exit status. */
+    int
+    stopDaemon()
+    {
+        ::kill(daemon_pid_, SIGTERM);
+        int status = 0;
+        ::waitpid(daemon_pid_, &status, 0);
+        daemon_pid_ = -1;
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    int
+    tryConnect() const
+    {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (socket_path_.size() >= sizeof(addr.sun_path))
+            return -1;
+        std::memcpy(addr.sun_path, socket_path_.c_str(),
+                    socket_path_.size() + 1);
+        const int fd =
+            ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd == -1)
+            return -1;
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == -1) {
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    /**
+     * Send @p payload on a fresh connection, half-close, and read
+     * every response line until the daemon closes the stream.
+     */
+    std::vector<std::string>
+    transact(const std::string &payload) const
+    {
+        const int fd = tryConnect();
+        EXPECT_NE(fd, -1) << "daemon refused a connection";
+        if (fd == -1)
+            return {};
+        std::size_t off = 0;
+        while (off < payload.size()) {
+            const ssize_t n = ::write(fd, payload.data() + off,
+                                      payload.size() - off);
+            if (n <= 0)
+                break;
+            off += static_cast<std::size_t>(n);
+        }
+        ::shutdown(fd, SHUT_WR);
+
+        std::string buf;
+        char chunk[65536];
+        ssize_t n = 0;
+        while ((n = ::read(fd, chunk, sizeof(chunk))) > 0)
+            buf.append(chunk, static_cast<std::size_t>(n));
+        ::close(fd);
+
+        std::vector<std::string> lines;
+        std::size_t start = 0;
+        while (start < buf.size()) {
+            const std::size_t nl = buf.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            lines.push_back(buf.substr(start, nl - start));
+            start = nl + 1;
+        }
+        return lines;
+    }
+
+    static JsonValue
+    parseLine(const std::string &line)
+    {
+        JsonValue doc;
+        std::string error;
+        EXPECT_TRUE(JsonValue::parse(line, &doc, &error))
+            << line << ": " << error;
+        EXPECT_TRUE(doc.isObject()) << line;
+        return doc;
+    }
+
+    static std::string
+    field(const JsonValue &doc, const std::string &name)
+    {
+        const JsonValue *v = doc.find(name);
+        return v != nullptr && v->isString() ? v->string : "";
+    }
+
+    static std::string
+    goodRequest(const std::string &id)
+    {
+        return "{\"id\": \"" + id +
+               "\", \"type\": \"sweep\", \"workload\": \"db1\", "
+               "\"min_depth\": 2, \"max_depth\": 5, "
+               "\"reference_depth\": 3, \"trace_length\": 15000, "
+               "\"warmup\": 1500}\n";
+    }
+
+    /** Assert @p line is an error response with @p code for @p id. */
+    static void
+    expectError(const std::string &line, const std::string &id,
+                const std::string &code)
+    {
+        const JsonValue doc = parseLine(line);
+        EXPECT_EQ(field(doc, "id"), id);
+        EXPECT_EQ(field(doc, "type"), "error");
+        EXPECT_EQ(field(doc, "code"), code);
+        EXPECT_FALSE(field(doc, "message").empty());
+    }
+
+    /** Assert the lines are a full sweep response: cells + done. */
+    void
+    expectGoodSweep(const std::vector<std::string> &lines,
+                    const std::string &id) const
+    {
+        ASSERT_EQ(lines.size(), 5u) << "4 cells + done expected";
+        for (std::size_t i = 0; i < 4; ++i) {
+            const JsonValue doc = parseLine(lines[i]);
+            EXPECT_EQ(field(doc, "id"), id);
+            EXPECT_EQ(field(doc, "type"), "cell");
+        }
+        const JsonValue done = parseLine(lines.back());
+        EXPECT_EQ(field(done, "id"), id);
+        EXPECT_EQ(field(done, "type"), "done");
+    }
+
+    fs::path dir_;
+    std::string socket_path_;
+    std::string cache_dir_;
+    pid_t daemon_pid_ = -1;
+};
+
+TEST_F(ServerTest, GoodSweepStreamsCellsThenDone)
+{
+    const auto lines = transact(goodRequest("q1"));
+    expectGoodSweep(lines, "q1");
+
+    const JsonValue done = parseLine(lines.back());
+    const JsonValue *cells = done.find("cells");
+    ASSERT_NE(cells, nullptr);
+    EXPECT_EQ(static_cast<int>(cells->number), 4);
+    const JsonValue *holes = done.find("holes");
+    ASSERT_NE(holes, nullptr);
+    EXPECT_EQ(static_cast<int>(holes->number), 0);
+}
+
+TEST_F(ServerTest, TruncatedJsonGetsStructuredError)
+{
+    const auto lines = transact("{\"id\": \"t1\", \"type\":\n");
+    ASSERT_EQ(lines.size(), 1u);
+    const JsonValue doc = parseLine(lines[0]);
+    EXPECT_EQ(field(doc, "type"), "error");
+    EXPECT_EQ(field(doc, "code"), proto_error::kBadJson);
+
+    // The daemon survives malformed input: a well-formed follow-up
+    // on a fresh connection succeeds.
+    expectGoodSweep(transact(goodRequest("t2")), "t2");
+}
+
+TEST_F(ServerTest, UnknownFieldIsRejectedByName)
+{
+    const auto lines = transact(
+        "{\"id\": \"u1\", \"type\": \"sweep\", \"workload\": "
+        "\"db1\", \"frobnicate\": 1}\n");
+    ASSERT_EQ(lines.size(), 1u);
+    expectError(lines[0], "u1", proto_error::kBadRequest);
+    EXPECT_NE(parseLine(lines[0]).find("message")->string.find(
+                  "frobnicate"),
+              std::string::npos);
+}
+
+TEST_F(ServerTest, BadLineThenGoodLineOnOneConnection)
+{
+    // Per-line framing: an error must poison only its own line, not
+    // the connection.
+    const auto lines =
+        transact("{\"id\": \"m1\", \"nope\": true}\n" +
+                 goodRequest("m2"));
+    ASSERT_GE(lines.size(), 2u);
+    // The error can interleave before, between or after the sweep
+    // lines; find it by id.
+    std::size_t errors = 0;
+    std::size_t cells = 0;
+    std::size_t dones = 0;
+    for (const auto &line : lines) {
+        const JsonValue doc = parseLine(line);
+        if (field(doc, "id") == "m1") {
+            EXPECT_EQ(field(doc, "type"), "error");
+            ++errors;
+        } else {
+            EXPECT_EQ(field(doc, "id"), "m2");
+            if (field(doc, "type") == "cell")
+                ++cells;
+            else if (field(doc, "type") == "done")
+                ++dones;
+        }
+    }
+    EXPECT_EQ(errors, 1u);
+    EXPECT_EQ(cells, 4u);
+    EXPECT_EQ(dones, 1u);
+}
+
+TEST_F(ServerTest, OutOfRangeDepthsAreRejected)
+{
+    const auto bad_range = [&](const std::string &body) {
+        const auto lines = transact("{\"id\": \"r\", \"type\": "
+                                    "\"sweep\", \"workload\": "
+                                    "\"db1\", " +
+                                    body + "}\n");
+        ASSERT_EQ(lines.size(), 1u);
+        expectError(lines[0], "r", proto_error::kBadRange);
+    };
+    bad_range("\"min_depth\": 50, \"max_depth\": 60");
+    bad_range("\"min_depth\": 5, \"max_depth\": 3");
+    bad_range("\"min_depth\": 2, \"max_depth\": 10, "
+              "\"reference_depth\": 25");
+    bad_range("\"trace_length\": 10");
+    bad_range("\"trace_length\": 2000, \"warmup\": 2000");
+}
+
+TEST_F(ServerTest, UnknownWorkloadIsRejected)
+{
+    const auto lines =
+        transact("{\"id\": \"w1\", \"type\": \"sweep\", "
+                 "\"workload\": \"no_such_workload\"}\n");
+    ASSERT_EQ(lines.size(), 1u);
+    expectError(lines[0], "w1", proto_error::kUnknownWorkload);
+}
+
+TEST_F(ServerTest, OversizedPayloadIsRejected)
+{
+    // A terminated line over --max-line-bytes: structured error,
+    // daemon keeps serving.
+    std::string big = "{\"id\": \"big\", \"type\": \"sweep\", "
+                      "\"workload\": \"";
+    big.append(2 * kMaxLineBytes, 'x');
+    big += "\"}\n";
+    const auto lines = transact(big);
+    ASSERT_GE(lines.size(), 1u);
+    const JsonValue doc = parseLine(lines[0]);
+    EXPECT_EQ(field(doc, "type"), "error");
+    EXPECT_EQ(field(doc, "code"), proto_error::kPayloadTooLarge);
+
+    expectGoodSweep(transact(goodRequest("after-big")), "after-big");
+}
+
+TEST_F(ServerTest, OversizedUnterminatedLineClosesConnection)
+{
+    // Without a newline the stream cannot re-synchronize: the daemon
+    // answers payload_too_large and hangs up — but stays alive.
+    std::string big(2 * kMaxLineBytes, 'y');
+    const auto lines = transact(big); // no newline, no SHUT_WR needed
+    ASSERT_GE(lines.size(), 1u);
+    const JsonValue doc = parseLine(lines[0]);
+    EXPECT_EQ(field(doc, "code"), proto_error::kPayloadTooLarge);
+
+    expectGoodSweep(transact(goodRequest("after-flood")),
+                    "after-flood");
+}
+
+TEST_F(ServerTest, DaemonResultsMatchLocalEngineExactly)
+{
+    const auto lines = transact(goodRequest("x1"));
+    expectGoodSweep(lines, "x1");
+
+    // The same options through a local engine (cache off: force a
+    // fresh computation) must yield bit-identical numbers — the
+    // daemon fronts the one engine, it is not a reimplementation.
+    SweepEngineOptions eopt;
+    eopt.use_cache = false;
+    SweepEngine engine(eopt);
+    SweepOptions sopt;
+    sopt.min_depth = 2;
+    sopt.max_depth = 5;
+    sopt.reference_depth = 3;
+    sopt.trace_length = 15000;
+    sopt.warmup_instructions = 1500;
+    const SweepResult local =
+        engine.runSweep(findWorkload("db1"), sopt);
+    ASSERT_EQ(local.runs.size(), 4u);
+
+    for (std::size_t i = 0; i < 4; ++i) {
+        const JsonValue doc = parseLine(lines[i]);
+        const SimResult &r = local.runs[i];
+        EXPECT_EQ(static_cast<int>(doc.find("depth")->number),
+                  r.depth);
+        EXPECT_EQ(static_cast<std::uint64_t>(
+                      doc.find("cycles")->number),
+                  r.cycles);
+        EXPECT_EQ(static_cast<std::uint64_t>(
+                      doc.find("instructions")->number),
+                  r.instructions);
+        EXPECT_DOUBLE_EQ(doc.find("bips")->number, r.bips());
+        EXPECT_DOUBLE_EQ(
+            doc.find("metric")->number,
+            local.power_model.metric(r, 3.0, true));
+    }
+}
+
+TEST_F(ServerTest, SigtermUnlinksSocketAndExitsZero)
+{
+    expectGoodSweep(transact(goodRequest("d1")), "d1");
+    EXPECT_EQ(stopDaemon(), 0);
+    EXPECT_FALSE(fs::exists(socket_path_));
+    EXPECT_EQ(tryConnect(), -1);
+}
+
+} // namespace
+} // namespace pipedepth

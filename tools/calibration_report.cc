@@ -104,10 +104,22 @@ main(int argc, char **argv)
     std::map<std::string, Acc> byclass;
     for (const auto &s : sweeps) {
         const WorkloadSpec &w = s.spec;
+        const SimResult &r = s.runs[6];
+        // A quarantined reference cell (cycles == 0) has no extracted
+        // parameters and no CPI/MPKI; folding the zeroed placeholder
+        // into a class mean would silently drag every column toward
+        // zero. Skip the workload, loudly.
+        if (r.cycles == 0) {
+            std::printf("%-12s %-12s SKIPPED: reference cell "
+                        "quarantined (%zu hole(s) in sweep)\n",
+                        w.name.c_str(),
+                        workloadClassName(w.cls).c_str(),
+                        s.failures.size());
+            continue;
+        }
         bool i1=false, i2=false;
         const double perf = s.cubicFitPerformanceOptimum(&i1);
         const double m3 = s.cubicFitOptimum(3.0, true, &i2);
-        const SimResult &r = s.runs[6];
         Acc &a = byclass[workloadClassName(w.cls)];
         a.n++; a.a += s.extracted.alpha; a.g += s.extracted.gamma;
         a.h += s.extracted.hazard_ratio; a.perf += perf; a.m3 += m3;
@@ -138,6 +150,8 @@ main(int argc, char **argv)
         std::map<std::string, int> counts;
         for (const auto &s : sweeps) {
             const SimResult &r = s.runs[6];
+            if (r.cycles == 0) // quarantined hole: no ledger to share
+                continue;
             auto &acc = shares[workloadClassName(s.spec.cls)];
             counts[workloadClassName(s.spec.cls)]++;
             for (std::size_t b = 0; b < kNumStallBuckets; ++b) {
