@@ -1,10 +1,81 @@
 #include "common/numeric.hh"
 
 #include <charconv>
+#include <cmath>
 #include <system_error>
 
 namespace pipedepth
 {
+
+namespace
+{
+
+/**
+ * strtod-compatible value for a literal in [@p begin, @p end) that
+ * from_chars reported out of range: 0.0 for an underflow ("1e-999"),
+ * ±HUGE_VAL for an overflow ("-1e999"). Overflow and underflow are
+ * hundreds of decimal orders of magnitude apart, so the sign of the
+ * literal's decimal exponent decides which side it fell off.
+ */
+double
+outOfRangeValue(const char *begin, const char *end)
+{
+    const char *p = begin;
+    const bool negative = p != end && *p == '-';
+    if (negative)
+        ++p;
+
+    // Significant-digit position of the leading nonzero digit:
+    // "123.4" -> +2, "0.004" -> -3, all-zero mantissa -> 0 (cannot
+    // be out of range, but fall through harmlessly).
+    long leading = 0;
+    bool seen_nonzero = false;
+    long int_digits = 0;
+    for (; p != end && *p >= '0' && *p <= '9'; ++p) {
+        if (*p != '0' || seen_nonzero) {
+            if (!seen_nonzero)
+                seen_nonzero = true;
+            ++int_digits;
+        }
+    }
+    if (seen_nonzero)
+        leading = int_digits - 1;
+    if (p != end && *p == '.') {
+        ++p;
+        long frac_zeros = 0;
+        for (; p != end && *p >= '0' && *p <= '9'; ++p) {
+            if (seen_nonzero)
+                continue;
+            if (*p == '0') {
+                ++frac_zeros;
+            } else {
+                seen_nonzero = true;
+                leading = -frac_zeros - 1;
+            }
+        }
+    }
+
+    long exponent = 0;
+    if (p != end && (*p == 'e' || *p == 'E')) {
+        ++p;
+        const bool exp_negative = p != end && *p == '-';
+        if (p != end && (*p == '-' || *p == '+'))
+            ++p;
+        for (; p != end && *p >= '0' && *p <= '9'; ++p) {
+            if (exponent < 100000)
+                exponent = exponent * 10 + (*p - '0');
+        }
+        if (exp_negative)
+            exponent = -exponent;
+    }
+
+    const bool overflow = exponent + leading >= 0;
+    if (overflow)
+        return negative ? -HUGE_VAL : HUGE_VAL;
+    return 0.0;
+}
+
+} // namespace
 
 bool
 parseDoubleC(const char *begin, const char *end, double *out,
@@ -16,8 +87,15 @@ parseDoubleC(const char *begin, const char *end, double *out,
     // emits one, and rejecting is the stricter, JSON-compatible
     // behavior.
     const std::from_chars_result r = std::from_chars(begin, end, *out);
-    if (r.ec == std::errc::result_out_of_range)
-        return false;
+    if (r.ec == std::errc::result_out_of_range) {
+        // Keep strtod's tolerance: a syntactically valid literal the
+        // double can't represent parses as 0.0 (underflow) or
+        // ±infinity (overflow) rather than poisoning the document.
+        *out = outOfRangeValue(begin, r.ptr);
+        if (parse_end)
+            *parse_end = r.ptr;
+        return true;
+    }
     if (r.ec != std::errc())
         return false;
     if (parse_end)

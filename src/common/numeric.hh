@@ -27,10 +27,14 @@ namespace pipedepth
  * the "C" locale ('.' decimal separator, optional exponent), in any
  * process locale. No leading whitespace or 0x forms are accepted.
  *
+ * Out-of-range literals keep strtod's tolerance: an underflow
+ * ("1e-999") parses as 0.0 and an overflow ("1e999") as ±infinity,
+ * with the whole literal consumed — a producer emitting an extreme
+ * value must not make the consumer reject the document as malformed.
+ *
  * @param parse_end when non-null, receives a pointer one past the
  *        last character consumed (== @p begin on failure).
- * @return true iff at least one character parsed as a number and the
- *         value is representable (out-of-range input fails).
+ * @return true iff at least one character parsed as a number.
  */
 bool parseDoubleC(const char *begin, const char *end, double *out,
                   const char **parse_end = nullptr);

@@ -40,6 +40,7 @@ inline constexpr const char *kPayloadTooLarge = "payload_too_large";
 inline constexpr const char *kOverloaded = "overloaded";
 inline constexpr const char *kDeadlineExceeded = "deadline_exceeded";
 inline constexpr const char *kShuttingDown = "shutting_down";
+inline constexpr const char *kInternal = "internal";
 } // namespace proto_error
 
 /** One validated client request. */

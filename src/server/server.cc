@@ -93,14 +93,22 @@ SweepServer::~SweepServer()
 {
     if (scheduler_.joinable()) {
         requestShutdown();
+        // serve() may never have run (start() without serve(), or an
+        // early exit): the I/O loop is then not there to confirm the
+        // drain, and the scheduler would wait on queue_cv_ forever.
+        {
+            const std::lock_guard<std::mutex> lock(queue_mutex_);
+            drain_confirmed_ = true;
+        }
+        queue_cv_.notify_all();
         scheduler_.join();
     }
     for (auto &[id, conn] : connections_)
         ::close(conn.fd);
-    if (listen_fd_ != -1) {
+    if (listen_fd_ != -1)
         ::close(listen_fd_);
+    if (owns_socket_)
         ::unlink(options_.socket_path.c_str());
-    }
     if (wake_read_fd_ != -1)
         ::close(wake_read_fd_);
     if (wake_write_fd_ != -1)
@@ -152,6 +160,10 @@ SweepServer::start(std::string *error)
         if (probe != -1)
             ::close(probe);
         if (live) {
+            // We never bound the path: drop the fd now so no later
+            // teardown can unlink the live daemon's socket file.
+            ::close(listen_fd_);
+            listen_fd_ = -1;
             return failStart("another daemon is already listening on '" +
                              options_.socket_path + "'");
         }
@@ -165,6 +177,7 @@ SweepServer::start(std::string *error)
                              std::string(std::strerror(errno)));
         }
     }
+    owns_socket_ = true;
     if (::listen(listen_fd_, 512) == -1)
         return failStart("listen(): " +
                          std::string(std::strerror(errno)));
@@ -263,8 +276,13 @@ SweepServer::ioLoop()
             !draining_) {
             draining_ = true;
             ::close(listen_fd_);
-            ::unlink(options_.socket_path.c_str());
             listen_fd_ = -1;
+            if (owns_socket_) {
+                ::unlink(options_.socket_path.c_str());
+                // A successor may bind the path from here on; the
+                // destructor must not unlink it out from under them.
+                owns_socket_ = false;
+            }
             // Only now can the scheduler's exit be safe: draining_ is
             // set on this thread, so no further handleLine admission
             // can happen after this point.
@@ -592,7 +610,20 @@ SweepServer::executeBatch(std::vector<Pending> batch)
             by_workload[r.spec.name] = &r;
 
         for (const auto &p : members) {
-            const SweepResult *sweep = by_workload[p.request.workload];
+            const auto sweep_it = by_workload.find(p.request.workload);
+            if (sweep_it == by_workload.end()) {
+                // The engine is expected to return one result per
+                // spec; if a future early-exit path breaks that,
+                // answer the request instead of crashing the daemon.
+                serverMetrics().rejected.add();
+                respond(p.conn_id,
+                        errorResponseLine(
+                            p.request.id, proto_error::kInternal,
+                            "engine returned no result for workload '" +
+                                p.request.workload + "'"));
+                continue;
+            }
+            const SweepResult *sweep = sweep_it->second;
             std::string out;
             DoneInfo info;
             info.manifest = options_.manifest_out;

@@ -168,6 +168,14 @@ class SweepServer
     int listen_fd_ = -1;
     int wake_read_fd_ = -1;
     int wake_write_fd_ = -1;
+    /**
+     * True only after THIS process bound socket_path. Every unlink of
+     * the socket file is gated on it: a failed start() (e.g. another
+     * daemon is live on the path) must never remove a socket it does
+     * not own, and once the drain unlinked the path a successor may
+     * already have bound it.
+     */
+    bool owns_socket_ = false;
 
     // I/O-thread state (no lock: touched only from serve()).
     std::map<std::uint64_t, Connection> connections_;

@@ -4,6 +4,7 @@
  */
 
 #include <clocale>
+#include <cmath>
 #include <cstring>
 
 #include <gtest/gtest.h>
@@ -143,6 +144,31 @@ TEST(Json, NumbersRoundTripExactly)
           123456789.123456, -0.0, 9007199254740993.0}) {
         EXPECT_EQ(parsed(jsonNumber(v)).number, v) << jsonNumber(v);
     }
+}
+
+TEST(Json, OutOfRangeNumbersParseLikeStrtod)
+{
+    // A literal the double can't represent must not poison the whole
+    // document as bad_json (any producer emitting a denormal
+    // underflow would make its consumer reject the manifest/wire
+    // line). strtod semantics: underflow -> 0.0, overflow -> ±inf.
+    double out = -1.0;
+    EXPECT_TRUE(parseDoubleFullC("1e-999", &out));
+    EXPECT_EQ(out, 0.0);
+    EXPECT_TRUE(parseDoubleFullC("-0.0000001e-999", &out));
+    EXPECT_EQ(out, 0.0);
+    EXPECT_TRUE(parseDoubleFullC("1e999", &out));
+    EXPECT_TRUE(std::isinf(out));
+    EXPECT_GT(out, 0.0);
+    EXPECT_TRUE(parseDoubleFullC("-123.5e999", &out));
+    EXPECT_TRUE(std::isinf(out));
+    EXPECT_LT(out, 0.0);
+    // Still rejects trailing garbage after an out-of-range literal.
+    EXPECT_FALSE(parseDoubleFullC("1e999x", &out));
+
+    EXPECT_EQ(parsed("{\"tiny\": 1e-999}").find("tiny")->number, 0.0);
+    EXPECT_TRUE(
+        std::isinf(parsed("{\"huge\": 1e999}").find("huge")->number));
 }
 
 TEST(Json, NumbersAreLocaleIndependent)

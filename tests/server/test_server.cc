@@ -36,6 +36,7 @@
 
 #include "common/json.hh"
 #include "server/protocol.hh"
+#include "server/server.hh"
 #include "sweep/sweep_engine.hh"
 #include "workloads/catalog.hh"
 
@@ -398,6 +399,53 @@ TEST_F(ServerTest, DaemonResultsMatchLocalEngineExactly)
             doc.find("metric")->number,
             local.power_model.metric(r, 3.0, true));
     }
+}
+
+TEST_F(ServerTest, FailedSecondStartLeavesLiveSocketIntact)
+{
+    // A second daemon on a path where one is already live must refuse
+    // to start — and its teardown must not unlink the live daemon's
+    // socket file (the regression: ~SweepServer unlinked whenever
+    // listen_fd_ was open, so an accidental second start deleted the
+    // socket the probe had just declined to fight over, cutting off
+    // every future client).
+    {
+        ServerOptions opt;
+        opt.socket_path = socket_path_;
+        opt.cache_dir = (dir_ / "cache2").string();
+        SweepServer second(opt);
+        std::string error;
+        EXPECT_FALSE(second.start(&error));
+        EXPECT_NE(error.find("already listening"), std::string::npos)
+            << error;
+    } // ~SweepServer of the refused daemon runs here
+
+    EXPECT_TRUE(fs::exists(socket_path_));
+    expectGoodSweep(transact(goodRequest("still-up")), "still-up");
+}
+
+TEST(ServerLifecycle, StartThenDestroyWithoutServeDoesNotHang)
+{
+    // Library use: start() without serve(). The I/O loop is never
+    // there to confirm the drain, so the destructor itself must
+    // release the scheduler thread (the regression: schedulerLoop
+    // waited on queue_cv_ forever and join() hung).
+    char tmpl[] = "/tmp/pp_server_lc_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    const fs::path dir = tmpl;
+    const std::string socket = (dir / "d.sock").string();
+    {
+        ServerOptions opt;
+        opt.socket_path = socket;
+        opt.use_cache = false;
+        SweepServer server(opt);
+        std::string error;
+        ASSERT_TRUE(server.start(&error)) << error;
+    }
+    // The owner that bound the socket unlinks it on teardown.
+    EXPECT_FALSE(fs::exists(socket));
+    std::error_code ec;
+    fs::remove_all(dir, ec);
 }
 
 TEST_F(ServerTest, SigtermUnlinksSocketAndExitsZero)
