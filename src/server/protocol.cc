@@ -4,6 +4,9 @@
 #include <sstream>
 
 #include "common/json.hh"
+#include "sweep/cache_key.hh"
+#include "telemetry/build_info.hh"
+#include "telemetry/metrics.hh"
 #include "workloads/catalog.hh"
 
 namespace pipedepth
@@ -35,6 +38,22 @@ readCount(const JsonValue &v, std::uint64_t *out)
 }
 
 } // namespace
+
+const char *
+ServerRequest::kindName() const
+{
+    switch (type) {
+      case Type::Sweep:
+        return "sweep";
+      case Type::Optimum:
+        return "optimum";
+      case Type::Stats:
+        return "stats";
+      case Type::Health:
+        return "health";
+    }
+    return "sweep";
+}
 
 SweepOptions
 ServerRequest::sweepOptions() const
@@ -74,13 +93,22 @@ parseServerRequest(const std::string &line, ServerRequest *out,
                     "request is not a JSON object");
     }
 
-    // Fill the id first so even a rejected request gets a correlated
-    // error line.
+    // Fill the id (and trace id) first so even a rejected request
+    // gets a correlated error line.
     if (const JsonValue *id = doc.find("id"); id && id->isString())
         out->id = id->string;
+    if (const JsonValue *t = doc.find("trace_id"); t && t->isString())
+        out->trace_id = t->string;
 
     bool have_id = false, have_type = false, have_workload = false;
+    // First sweep-option field seen, if any: stats/health requests
+    // must not carry one (a grid option on a probe is a client bug
+    // worth naming, not silently ignoring).
+    std::string sweep_field;
     for (const auto &[key, value] : doc.object) {
+        if (key != "id" && key != "type" && key != "trace_id" &&
+            sweep_field.empty())
+            sweep_field = key;
         if (key == "id") {
             if (!value.isString() || value.string.empty() ||
                 value.string.size() > 128) {
@@ -100,14 +128,27 @@ parseServerRequest(const std::string &line, ServerRequest *out,
                 out->type = ServerRequest::Type::Sweep;
             } else if (value.string == "optimum") {
                 out->type = ServerRequest::Type::Optimum;
+            } else if (value.string == "stats") {
+                out->type = ServerRequest::Type::Stats;
+            } else if (value.string == "health") {
+                out->type = ServerRequest::Type::Health;
             } else {
                 return fail(error_code, error_message,
                             proto_error::kBadRequest,
-                            "'type' must be \"sweep\" or \"optimum\", "
-                            "got \"" +
+                            "'type' must be \"sweep\", \"optimum\", "
+                            "\"stats\" or \"health\", got \"" +
                                 value.string + "\"");
             }
             have_type = true;
+        } else if (key == "trace_id") {
+            if (!value.isString() || value.string.empty() ||
+                value.string.size() > 64) {
+                return fail(error_code, error_message,
+                            proto_error::kBadRequest,
+                            "'trace_id' must be a non-empty string of "
+                            "at most 64 characters");
+            }
+            out->trace_id = value.string;
         } else if (key == "workload") {
             if (!value.isString() || value.string.empty()) {
                 return fail(error_code, error_message,
@@ -173,10 +214,30 @@ parseServerRequest(const std::string &line, ServerRequest *out,
         }
     }
 
-    if (!have_id || !have_type || !have_workload) {
+    if (!have_id || !have_type) {
         return fail(error_code, error_message, proto_error::kBadRequest,
-                    "missing required field: id, type and workload "
-                    "are mandatory");
+                    "missing required field: id and type are "
+                    "mandatory");
+    }
+
+    // The in-band observability verbs take no grid options: strict
+    // here for the same reason as unknown fields.
+    if (out->type == ServerRequest::Type::Stats ||
+        out->type == ServerRequest::Type::Health) {
+        if (!sweep_field.empty()) {
+            return fail(error_code, error_message,
+                        proto_error::kBadRequest,
+                        "field '" + sweep_field +
+                            "' is not valid for a " +
+                            std::string(out->kindName()) + " request");
+        }
+        return true;
+    }
+
+    if (!have_workload) {
+        return fail(error_code, error_message, proto_error::kBadRequest,
+                    "missing required field: workload is mandatory "
+                    "for sweep and optimum requests");
     }
 
     // Depth-range limits mirror SweepOptions::validate(), which is
@@ -215,23 +276,51 @@ parseServerRequest(const std::string &line, ServerRequest *out,
     return true;
 }
 
+namespace
+{
+
+/** ", \"trace_id\": \"...\"" when a trace id is known, else "". */
 std::string
-errorResponseLine(const std::string &id, const std::string &code,
-                  const std::string &message)
+traceIdField(const std::string &trace_id)
+{
+    return trace_id.empty()
+               ? std::string()
+               : ", \"trace_id\": " + jsonQuote(trace_id);
+}
+
+std::string
+phaseTimingsJson(const PhaseTimings &phases)
 {
     std::ostringstream os;
-    os << "{\"id\": " << jsonQuote(id)
+    os << "{\"queue\": " << jsonNumber(phases.queue_us)
+       << ", \"parse\": " << jsonNumber(phases.parse_us)
+       << ", \"batch\": " << jsonNumber(phases.batch_us)
+       << ", \"engine\": " << jsonNumber(phases.engine_us)
+       << ", \"serialize\": " << jsonNumber(phases.serialize_us)
+       << "}";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+errorResponseLine(const std::string &id, const std::string &code,
+                  const std::string &message,
+                  const std::string &trace_id)
+{
+    std::ostringstream os;
+    os << "{\"id\": " << jsonQuote(id) << traceIdField(trace_id)
        << ", \"type\": \"error\", \"code\": " << jsonQuote(code)
        << ", \"message\": " << jsonQuote(message) << "}\n";
     return os.str();
 }
 
 std::string
-cellResponseLine(const std::string &id, const SimResult &r,
-                 double metric)
+cellResponseLine(const std::string &id, const std::string &trace_id,
+                 const SimResult &r, double metric)
 {
     std::ostringstream os;
-    os << "{\"id\": " << jsonQuote(id)
+    os << "{\"id\": " << jsonQuote(id) << traceIdField(trace_id)
        << ", \"type\": \"cell\", \"workload\": " << jsonQuote(r.workload)
        << ", \"depth\": " << r.depth
        << ", \"cycles\": " << r.cycles
@@ -247,7 +336,7 @@ std::string
 doneResponseLine(const std::string &id, const DoneInfo &info)
 {
     std::ostringstream os;
-    os << "{\"id\": " << jsonQuote(id)
+    os << "{\"id\": " << jsonQuote(id) << traceIdField(info.trace_id)
        << ", \"type\": \"done\", \"cells\": " << info.cells
        << ", \"cached\": " << info.cached
        << ", \"computed\": " << info.computed
@@ -255,7 +344,55 @@ doneResponseLine(const std::string &id, const DoneInfo &info)
        << ", \"optimum\": " << jsonNumber(info.optimum)
        << ", \"interior\": " << (info.interior ? "true" : "false")
        << ", \"elapsed_ms\": " << jsonNumber(info.elapsed_ms)
+       << ", \"phase_us\": " << phaseTimingsJson(info.phases)
        << ", \"manifest\": " << jsonQuote(info.manifest) << "}\n";
+    return os.str();
+}
+
+std::string
+statsResponseLine(const std::string &id, const std::string &trace_id,
+                  const StatsInfo &info)
+{
+    // Cache rollup from the registry's own counters (result_cache.cc
+    // maintains them): one glance answers "is the cache pulling its
+    // weight" without digging through the metrics object.
+    MetricsRegistry &registry = MetricsRegistry::instance();
+    const std::uint64_t hits =
+        registry.counter("cache.probe.hit").value();
+    const std::uint64_t misses =
+        registry.counter("cache.probe.miss").value();
+    const double hit_rate =
+        hits + misses
+            ? static_cast<double>(hits) /
+                  static_cast<double>(hits + misses)
+            : 0.0;
+
+    std::ostringstream os;
+    os << "{\"id\": " << jsonQuote(id) << traceIdField(trace_id)
+       << ", \"type\": \"stats\", \"status\": " << jsonQuote(info.status)
+       << ", \"uptime_s\": " << jsonNumber(info.uptime_s)
+       << ", \"git\": " << jsonQuote(gitDescribe())
+       << ", \"sim_version\": " << jsonQuote(kSimulatorVersionTag)
+       << ", \"queue_depth\": " << info.queue_depth
+       << ", \"in_flight\": " << info.in_flight
+       << ", \"connections\": " << info.connections
+       << ", \"completed\": " << info.completed
+       << ", \"cache\": {\"hits\": " << hits
+       << ", \"misses\": " << misses
+       << ", \"hit_rate\": " << jsonNumber(hit_rate) << "}"
+       << ", \"metrics\": " << metricsSnapshotJson(registry.snapshot())
+       << "}\n";
+    return os.str();
+}
+
+std::string
+healthResponseLine(const std::string &id, const std::string &trace_id,
+                   const std::string &status, double uptime_s)
+{
+    std::ostringstream os;
+    os << "{\"id\": " << jsonQuote(id) << traceIdField(trace_id)
+       << ", \"type\": \"health\", \"status\": " << jsonQuote(status)
+       << ", \"uptime_s\": " << jsonNumber(uptime_s) << "}\n";
     return os.str();
 }
 

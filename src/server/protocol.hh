@@ -43,6 +43,22 @@ inline constexpr const char *kShuttingDown = "shutting_down";
 inline constexpr const char *kInternal = "internal";
 } // namespace proto_error
 
+/**
+ * Per-request phase latency attribution (all microseconds). The sum
+ * approximates the request's admission-to-response latency; each
+ * phase is also recorded in the registry histogram
+ * `server.phase.<kind>.<phase>_us` so the `stats` verb can answer
+ * "where did the microseconds go" per request kind.
+ */
+struct PhaseTimings
+{
+    double queue_us = 0.0;     //!< admission -> scheduler pickup
+    double parse_us = 0.0;     //!< line framing + parse + validation
+    double batch_us = 0.0;     //!< pickup -> this group's engine start
+    double engine_us = 0.0;    //!< the group's runGrid pass
+    double serialize_us = 0.0; //!< response rendering (cell lines)
+};
+
 /** One validated client request. */
 struct ServerRequest
 {
@@ -50,9 +66,21 @@ struct ServerRequest
     {
         Sweep,   //!< stream per-cell results, then a done line
         Optimum, //!< done line only, with the fitted optimum depth
+        Stats,   //!< JSON observability snapshot, answered in-band
+        Health,  //!< cheap liveness probe (load balancers)
     };
 
     std::string id; //!< client-chosen, echoed on every response line
+
+    /**
+     * Correlation id echoed on every response line and access-log
+     * entry. Client-chosen when the request carried `trace_id`;
+     * otherwise the daemon generates one at admission, so every
+     * admitted request can be followed across threads and into the
+     * engine pass that served it.
+     */
+    std::string trace_id;
+
     Type type = Type::Sweep;
     std::string workload; //!< catalog name (validated)
     int min_depth = 2;
@@ -62,6 +90,9 @@ struct ServerRequest
     std::size_t warmup = 60000;
     double metric_exponent = 3.0;   //!< m of BIPS^m/W
     std::uint64_t deadline_ms = 0;  //!< 0 = no deadline
+
+    /** Stable wire name of the request kind ("sweep", "stats", ...). */
+    const char *kindName() const;
 
     /** The equivalent engine options (always valid post-parse). */
     SweepOptions sweepOptions() const;
@@ -88,21 +119,28 @@ bool parseServerRequest(const std::string &line, ServerRequest *out,
 /// @name Response lines (each includes the trailing newline)
 /// @{
 
-/** Structured error: {"id":..,"type":"error","code":..,"message":..}. */
+/**
+ * Structured error: {"id":..,"type":"error","code":..,"message":..},
+ * with a "trace_id" field when one is known (parse failures may not
+ * have gotten far enough to have one).
+ */
 std::string errorResponseLine(const std::string &id,
                               const std::string &code,
-                              const std::string &message);
+                              const std::string &message,
+                              const std::string &trace_id = "");
 
 /**
  * One resolved grid cell of a sweep request. @p metric is the
  * request's BIPS^m/W value for this cell (gated power model).
  */
-std::string cellResponseLine(const std::string &id, const SimResult &r,
-                             double metric);
+std::string cellResponseLine(const std::string &id,
+                             const std::string &trace_id,
+                             const SimResult &r, double metric);
 
-/** Terminal line of a successful request. */
+/** Terminal line of a successful sweep/optimum request. */
 struct DoneInfo
 {
+    std::string trace_id;     //!< request correlation id
     std::size_t cells = 0;    //!< grid cells of this request
     std::size_t cached = 0;   //!< served from the result cache
     std::size_t computed = 0; //!< simulated for this batch
@@ -110,10 +148,44 @@ struct DoneInfo
     double optimum = 0.0;     //!< cubic-fit optimum depth
     bool interior = false;    //!< peak interior to the sampled range
     double elapsed_ms = 0.0;  //!< admission-to-response latency
+    PhaseTimings phases;      //!< where those milliseconds went
     std::string manifest;     //!< daemon manifest path ("" when off)
 };
 
 std::string doneResponseLine(const std::string &id, const DoneInfo &info);
+
+/**
+ * Daemon state reported by the `stats` verb; the server fills the
+ * live fields, the renderer appends the full metrics-registry
+ * snapshot (metricsSnapshotJson — every counter/gauge, every
+ * histogram with p50/p90/p99 estimates) and a cache hit/miss rollup.
+ */
+struct StatsInfo
+{
+    std::string status = "serving"; //!< "serving" or "draining"
+    double uptime_s = 0.0;          //!< since the server started
+    std::size_t queue_depth = 0;    //!< admitted, not yet picked up
+    std::size_t in_flight = 0;      //!< admitted, not yet answered
+    std::size_t connections = 0;    //!< currently open
+    std::uint64_t completed = 0;    //!< done lines over the lifetime
+};
+
+/** {"id":..,"type":"stats",..live fields..,"metrics":{..}}. */
+std::string statsResponseLine(const std::string &id,
+                              const std::string &trace_id,
+                              const StatsInfo &info);
+
+/**
+ * {"id":..,"type":"health","status":..,"uptime_s":..}. Cheap enough
+ * for load-balancer probes: no registry snapshot, no allocation
+ * beyond the line itself. Status mirrors StatsInfo::status — a
+ * draining daemon still answers (so probes see "draining" and take
+ * it out of rotation) but admits nothing else.
+ */
+std::string healthResponseLine(const std::string &id,
+                               const std::string &trace_id,
+                               const std::string &status,
+                               double uptime_s);
 
 /// @}
 

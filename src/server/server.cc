@@ -40,6 +40,14 @@ struct ServerMetrics
         MetricsRegistry::instance().counter("server.conn.accepted");
     Counter &socket_swept =
         MetricsRegistry::instance().counter("server.socket.swept");
+    Counter &stats_probes =
+        MetricsRegistry::instance().counter("server.request.stats");
+    Counter &health_probes =
+        MetricsRegistry::instance().counter("server.request.health");
+    Counter &slow =
+        MetricsRegistry::instance().counter("server.request.slow");
+    Counter &holes =
+        MetricsRegistry::instance().counter("server.request.holes_served");
     Gauge &queue_depth =
         MetricsRegistry::instance().gauge("server.queue.depth");
     Histogram &latency_us = MetricsRegistry::instance().histogram(
@@ -66,6 +74,37 @@ elapsedMs(std::chrono::steady_clock::time_point since)
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - since)
         .count();
+}
+
+double
+elapsedUs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+/**
+ * Record one request's phase attribution under
+ * `server.phase.<kind>.<phase>_us`. Looked up per call rather than
+ * bound statically: the kind is part of the name, and requests are
+ * per-batch events, nowhere near the registry's cost ceiling.
+ */
+void
+recordPhases(const char *kind, const PhaseTimings &t)
+{
+    auto &reg = MetricsRegistry::instance();
+    const std::string prefix = std::string("server.phase.") + kind + ".";
+    const auto rec = [&](const char *phase, double us) {
+        reg.histogram(prefix + phase)
+            .record(us <= 0.0 ? 0
+                              : static_cast<std::uint64_t>(us + 0.5));
+    };
+    rec("queue_us", t.queue_us);
+    rec("parse_us", t.parse_us);
+    rec("batch_us", t.batch_us);
+    rec("engine_us", t.engine_us);
+    rec("serialize_us", t.serialize_us);
 }
 
 } // namespace
@@ -189,10 +228,23 @@ SweepServer::start(std::string *error)
     wake_read_fd_ = pipe_fds[0];
     wake_write_fd_ = pipe_fds[1];
 
+    if (!options_.access_log.empty()) {
+        std::string alerror;
+        if (!access_log_.open(options_.access_log, &alerror))
+            return failStart(alerror);
+        manifest_.addMeta("access_log", options_.access_log);
+    }
+
     if (!options_.events_out.empty())
         manifest_.openEvents(options_.events_out);
     manifest_.event("server_start",
                     {{"socket", options_.socket_path}});
+
+    started_at_ = std::chrono::steady_clock::now();
+    // The final manifest reports per-serving-window metric deltas
+    // alongside the cumulative-since-boot values; the window opens
+    // here, once startup (cache probing, socket sweep) is behind us.
+    manifest_.markMetricsBaseline();
 
     scheduler_ = std::thread([this] { schedulerLoop(); });
     return true;
@@ -355,6 +407,13 @@ SweepServer::ioLoop()
                     }
                     Connection conn;
                     conn.fd = fd;
+                    ucred cred{};
+                    socklen_t cred_len = sizeof(cred);
+                    if (::getsockopt(fd, SOL_SOCKET, SO_PEERCRED,
+                                     &cred, &cred_len) == 0) {
+                        conn.peer = "pid:" + std::to_string(cred.pid) +
+                                    ",uid:" + std::to_string(cred.uid);
+                    }
                     connections_[next_conn_id_++] = std::move(conn);
                     serverMetrics().conns.add();
                 }
@@ -413,6 +472,13 @@ SweepServer::ioLoop()
                         "request line exceeds " +
                             std::to_string(options_.max_line_bytes) +
                             " bytes");
+                    if (access_log_.enabled()) {
+                        AccessLog::Entry entry;
+                        entry.peer = conn.peer;
+                        entry.kind = "invalid";
+                        entry.outcome = proto_error::kPayloadTooLarge;
+                        access_log_.write(entry);
+                    }
                     conn.close_after_flush = true;
                     conn.in.clear();
                     ::shutdown(conn.fd, SHUT_RD);
@@ -455,11 +521,32 @@ void
 SweepServer::handleLine(std::uint64_t conn_id, Connection &conn,
                         const std::string &line)
 {
+    const auto parse_begin = std::chrono::steady_clock::now();
     std::string text = line;
     if (!text.empty() && text.back() == '\r')
         text.pop_back();
     if (text.empty())
         return;
+
+    // Every refused request still gets an access-log line: the log
+    // accounts for everything the daemon *answered*, not only what it
+    // served, or a post-mortem cannot tell "dropped" from "rejected".
+    const auto logRefusal = [&](const ServerRequest &request,
+                                const std::string &kind,
+                                const std::string &outcome) {
+        if (!access_log_.enabled())
+            return;
+        AccessLog::Entry entry;
+        entry.trace_id = request.trace_id;
+        entry.id = request.id;
+        entry.peer = conn.peer;
+        entry.kind = kind;
+        entry.workload = request.workload;
+        entry.outcome = outcome;
+        entry.phases.parse_us = elapsedUs(parse_begin);
+        entry.total_us = entry.phases.parse_us;
+        access_log_.write(entry);
+    };
 
     if (text.size() > options_.max_line_bytes) {
         serverMetrics().rejected.add();
@@ -467,6 +554,8 @@ SweepServer::handleLine(std::uint64_t conn_id, Connection &conn,
             "", proto_error::kPayloadTooLarge,
             "request line exceeds " +
                 std::to_string(options_.max_line_bytes) + " bytes");
+        logRefusal(ServerRequest{}, "invalid",
+                   proto_error::kPayloadTooLarge);
         conn.close_after_flush = true;
         return;
     }
@@ -475,7 +564,53 @@ SweepServer::handleLine(std::uint64_t conn_id, Connection &conn,
     std::string code, message;
     if (!parseServerRequest(text, &request, &code, &message)) {
         serverMetrics().rejected.add();
-        conn.out += errorResponseLine(request.id, code, message);
+        conn.out += errorResponseLine(request.id, code, message,
+                                      request.trace_id);
+        logRefusal(request, "invalid", code);
+        return;
+    }
+
+    // Correlation id: echo the client's or mint one at admission, so
+    // every response line, span tag and access-log entry of this
+    // request carries the same handle.
+    if (request.trace_id.empty()) {
+        request.trace_id = "pd-" + std::to_string(::getpid()) + "-" +
+                           std::to_string(++next_trace_seq_);
+    }
+    const double parse_us = elapsedUs(parse_begin);
+
+    // stats/health answer inline on the I/O thread: they read daemon
+    // state, never touch the engine, and must stay answerable while a
+    // long grid occupies the scheduler. health answers even during a
+    // drain — that is exactly when a probe needs to see "draining".
+    if (request.type == ServerRequest::Type::Stats ||
+        request.type == ServerRequest::Type::Health) {
+        const auto serialize_begin = std::chrono::steady_clock::now();
+        if (request.type == ServerRequest::Type::Health) {
+            serverMetrics().health_probes.add();
+            conn.out += healthResponseLine(
+                request.id, request.trace_id,
+                draining_ ? "draining" : "serving", uptimeSeconds());
+        } else {
+            serverMetrics().stats_probes.add();
+            conn.out += statsResponseLine(request.id, request.trace_id,
+                                          buildStats());
+        }
+        PhaseTimings phases;
+        phases.parse_us = parse_us;
+        phases.serialize_us = elapsedUs(serialize_begin);
+        recordPhases(request.kindName(), phases);
+        if (access_log_.enabled()) {
+            AccessLog::Entry entry;
+            entry.trace_id = request.trace_id;
+            entry.id = request.id;
+            entry.peer = conn.peer;
+            entry.kind = request.kindName();
+            entry.outcome = "ok";
+            entry.phases = phases;
+            entry.total_us = elapsedUs(parse_begin);
+            access_log_.write(entry);
+        }
         return;
     }
 
@@ -483,24 +618,40 @@ SweepServer::handleLine(std::uint64_t conn_id, Connection &conn,
         serverMetrics().rejected.add();
         conn.out += errorResponseLine(
             request.id, proto_error::kShuttingDown,
-            "daemon is draining; request not admitted");
+            "daemon is draining; request not admitted",
+            request.trace_id);
+        logRefusal(request, request.kindName(),
+                   proto_error::kShuttingDown);
         return;
     }
 
+    bool overloaded = false;
     {
         const std::lock_guard<std::mutex> lock(queue_mutex_);
         if (queue_.size() >= options_.max_queue) {
-            serverMetrics().rejected.add();
-            conn.out += errorResponseLine(
-                request.id, proto_error::kOverloaded,
-                "admission queue full (" +
-                    std::to_string(options_.max_queue) + " requests)");
-            return;
+            overloaded = true;
+        } else {
+            Pending pending;
+            pending.conn_id = conn_id;
+            pending.peer = conn.peer;
+            pending.arrival = std::chrono::steady_clock::now();
+            pending.parse_us = parse_us;
+            pending.request = request; // keep for the refusal path
+            queue_.push_back(std::move(pending));
+            serverMetrics().queue_depth.set(
+                static_cast<std::int64_t>(queue_.size()));
         }
-        queue_.push_back(Pending{std::move(request), conn_id,
-                                 std::chrono::steady_clock::now()});
-        serverMetrics().queue_depth.set(
-            static_cast<std::int64_t>(queue_.size()));
+    }
+    if (overloaded) {
+        serverMetrics().rejected.add();
+        conn.out += errorResponseLine(
+            request.id, proto_error::kOverloaded,
+            "admission queue full (" +
+                std::to_string(options_.max_queue) + " requests)",
+            request.trace_id);
+        logRefusal(request, request.kindName(),
+                   proto_error::kOverloaded);
+        return;
     }
     ++conn.inflight;
     serverMetrics().admitted.add();
@@ -523,7 +674,8 @@ SweepServer::schedulerLoop()
             serverMetrics().queue_depth.set(0);
             scheduler_busy_ = true;
         }
-        executeBatch(std::move(batch));
+        executeBatch(std::move(batch),
+                     std::chrono::steady_clock::now());
         {
             const std::lock_guard<std::mutex> lock(queue_mutex_);
             scheduler_busy_ = false;
@@ -537,10 +689,48 @@ SweepServer::schedulerLoop()
     wake();
 }
 
+StatsInfo
+SweepServer::buildStats()
+{
+    StatsInfo info;
+    info.status = draining_ ? "draining" : "serving";
+    info.uptime_s = uptimeSeconds();
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        info.queue_depth = queue_.size();
+    }
+    for (const auto &[id, conn] : connections_)
+        info.in_flight += conn.inflight;
+    info.connections = connections_.size();
+    info.completed = requestsCompleted();
+    return info;
+}
+
+double
+SweepServer::uptimeSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - started_at_)
+        .count();
+}
+
 void
-SweepServer::executeBatch(std::vector<Pending> batch)
+SweepServer::executeBatch(std::vector<Pending> batch,
+                          std::chrono::steady_clock::time_point pickup)
 {
     serverMetrics().batches.add();
+
+    const auto baseEntry = [](const Pending &p) {
+        AccessLog::Entry entry;
+        entry.trace_id = p.request.trace_id;
+        entry.id = p.request.id;
+        entry.peer = p.peer;
+        entry.kind = p.request.kindName();
+        entry.workload = p.request.workload;
+        entry.shape = p.request.shapeKey();
+        entry.phases.parse_us = p.parse_us;
+        return entry;
+    };
 
     // Reject what already missed its deadline; everything admitted to
     // an engine run completes even if the deadline passes mid-grid
@@ -559,7 +749,15 @@ SweepServer::executeBatch(std::vector<Pending> batch)
                         p.request.id, proto_error::kDeadlineExceeded,
                         "deadline of " +
                             std::to_string(p.request.deadline_ms) +
-                            "ms elapsed while queued"));
+                            "ms elapsed while queued",
+                        p.request.trace_id));
+            if (access_log_.enabled()) {
+                AccessLog::Entry entry = baseEntry(p);
+                entry.outcome = proto_error::kDeadlineExceeded;
+                entry.phases.queue_us = waited * 1e3;
+                entry.total_us = entry.phases.queue_us + p.parse_us;
+                access_log_.write(entry);
+            }
             continue;
         }
         live.push_back(std::move(p));
@@ -585,14 +783,33 @@ SweepServer::executeBatch(std::vector<Pending> batch)
         }
         const SweepOptions opt = members.front().request.sweepOptions();
 
+        // Correlation for this fused pass: a batch id plus the trace
+        // ids of every member, tagged on the engine span and emitted
+        // as a manifest "grid" event by runGrid, so cell events that
+        // follow can be attributed to the requests they served.
+        GridTelemetry telemetry;
+        telemetry.batch_id = "b-" + std::to_string(++next_batch_seq_);
+        for (const auto &p : members) {
+            if (!telemetry.trace_ids.empty())
+                telemetry.trace_ids += ",";
+            telemetry.trace_ids += p.request.trace_id;
+        }
+
         const std::size_t cells_before = manifest_.cells().size();
         std::vector<SweepResult> results;
+        const auto engine_begin = std::chrono::steady_clock::now();
         {
             TELEM_SPAN(span, "server.batch");
             span.tag("requests", std::to_string(members.size()));
             span.tag("workloads", std::to_string(specs.size()));
-            results = engine_.runGrid(specs, opt);
+            span.tag("batch", telemetry.batch_id);
+            results = engine_.runGrid(specs, opt, &telemetry);
         }
+        const double engine_us = elapsedUs(engine_begin);
+        const double batch_wait_us =
+            std::chrono::duration<double, std::micro>(engine_begin -
+                                                      pickup)
+                .count();
 
         // Per-cell outcomes of exactly this grid, for per-request
         // cached/computed accounting (the engine reported each
@@ -620,12 +837,22 @@ SweepServer::executeBatch(std::vector<Pending> batch)
                         errorResponseLine(
                             p.request.id, proto_error::kInternal,
                             "engine returned no result for workload '" +
-                                p.request.workload + "'"));
+                                p.request.workload + "'",
+                            p.request.trace_id));
+                if (access_log_.enabled()) {
+                    AccessLog::Entry entry = baseEntry(p);
+                    entry.outcome = proto_error::kInternal;
+                    entry.total_us = elapsedUs(p.arrival) + p.parse_us;
+                    access_log_.write(entry);
+                }
                 continue;
             }
             const SweepResult *sweep = sweep_it->second;
+            const auto serialize_begin =
+                std::chrono::steady_clock::now();
             std::string out;
             DoneInfo info;
+            info.trace_id = p.request.trace_id;
             info.manifest = options_.manifest_out;
             for (int d = p.request.min_depth; d <= p.request.max_depth;
                  ++d) {
@@ -648,7 +875,7 @@ SweepServer::executeBatch(std::vector<Pending> batch)
                 ++lives;
                 if (p.request.type == ServerRequest::Type::Sweep) {
                     out += cellResponseLine(
-                        p.request.id, r,
+                        p.request.id, p.request.trace_id, r,
                         sweep->power_model.metric(
                             r, p.request.metric_exponent, true));
                 }
@@ -657,14 +884,49 @@ SweepServer::executeBatch(std::vector<Pending> batch)
                 info.optimum = sweep->cubicFitOptimum(
                     p.request.metric_exponent, true, &info.interior);
             }
+            // serialize_us covers the cell lines and the fit; the
+            // done line itself renders after the clock is read (it
+            // must carry the measurement it is part of).
+            info.phases.queue_us =
+                std::chrono::duration<double, std::micro>(pickup -
+                                                          p.arrival)
+                    .count();
+            info.phases.parse_us = p.parse_us;
+            info.phases.batch_us = batch_wait_us;
+            info.phases.engine_us = engine_us;
+            info.phases.serialize_us = elapsedUs(serialize_begin);
             info.elapsed_ms = elapsedMs(p.arrival);
             out += doneResponseLine(p.request.id, info);
 
             serverMetrics().completed.add();
             serverMetrics().latency_us.recordSeconds(info.elapsed_ms /
                                                      1e3);
+            recordPhases(p.request.kindName(), info.phases);
+            if (info.holes > 0)
+                serverMetrics().holes.add(info.holes);
             requests_completed_.fetch_add(1, std::memory_order_relaxed);
             respond(p.conn_id, std::move(out));
+
+            if (access_log_.enabled()) {
+                AccessLog::Entry entry = baseEntry(p);
+                entry.outcome = "ok";
+                entry.cells = info.cells;
+                entry.cached = info.cached;
+                entry.computed = info.computed;
+                entry.holes = info.holes;
+                entry.phases = info.phases;
+                entry.total_us = info.elapsed_ms * 1e3 + p.parse_us;
+                access_log_.write(entry);
+            }
+            if (options_.slow_ms != 0 &&
+                info.elapsed_ms >=
+                    static_cast<double>(options_.slow_ms)) {
+                serverMetrics().slow.add();
+                PP_WARN("pipesimd: slow request trace_id=",
+                        p.request.trace_id, " id=", p.request.id,
+                        " workload=", p.request.workload,
+                        " elapsed_ms=", info.elapsed_ms);
+            }
         }
     }
 }

@@ -54,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "server/access_log.hh"
 #include "server/protocol.hh"
 #include "sweep/sweep_engine.hh"
 #include "telemetry/manifest.hh"
@@ -94,6 +95,24 @@ struct ServerOptions
      */
     std::string manifest_out;
     std::string events_out; //!< JSONL event stream ("" = off)
+
+    /**
+     * Structured JSONL access log, one flushed line per finished
+     * request ("" = off; schema in server/access_log.hh and
+     * docs/OBSERVABILITY.md). start() fails when the path cannot be
+     * opened — a daemon asked to account for every request must not
+     * silently run unaccounted.
+     */
+    std::string access_log;
+
+    /**
+     * Slow-request threshold in milliseconds (0 = off): a finished
+     * grid request whose admission-to-response latency reaches it is
+     * also mirrored to the daemon log (one warning per request,
+     * carrying the trace id) so slow outliers surface without
+     * tailing the access log.
+     */
+    std::uint64_t slow_ms = 0;
 };
 
 class SweepServer
@@ -138,6 +157,7 @@ class SweepServer
         int fd = -1;
         std::string in;  //!< unframed inbound bytes
         std::string out; //!< unsent response bytes
+        std::string peer; //!< "pid:N,uid:N" (SO_PEERCRED), "" unknown
         bool close_after_flush = false;
         bool peer_eof = false;     //!< read side saw EOF (half-close)
         std::size_t inflight = 0;  //!< admitted, not yet answered
@@ -148,14 +168,20 @@ class SweepServer
     {
         ServerRequest request;
         std::uint64_t conn_id = 0;
+        std::string peer;
         std::chrono::steady_clock::time_point arrival;
+        double parse_us = 0.0; //!< parse/validate time on the I/O thread
     };
 
     void ioLoop();
     void schedulerLoop();
-    void executeBatch(std::vector<Pending> batch);
+    void executeBatch(std::vector<Pending> batch,
+                      std::chrono::steady_clock::time_point pickup);
     void handleLine(std::uint64_t conn_id, Connection &conn,
                     const std::string &line);
+    /** Stats snapshot; I/O thread only (reads connection state). */
+    StatsInfo buildStats();
+    double uptimeSeconds() const;
     /** Thread-safe: queue @p data for @p conn_id and wake the poller. */
     void respond(std::uint64_t conn_id, std::string data);
     void wake();
@@ -164,6 +190,10 @@ class SweepServer
     ServerOptions options_;
     SweepEngine engine_;
     RunManifest manifest_;
+    AccessLog access_log_;
+    std::chrono::steady_clock::time_point started_at_;
+    std::uint64_t next_trace_seq_ = 0; //!< I/O thread only
+    std::uint64_t next_batch_seq_ = 0; //!< scheduler thread only
 
     int listen_fd_ = -1;
     int wake_read_fd_ = -1;

@@ -286,7 +286,8 @@ SweepEngine::SweepEngine(const SweepEngineOptions &options)
 
 std::vector<SweepResult>
 SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
-                     const SweepOptions &options)
+                     const SweepOptions &options,
+                     const GridTelemetry *telemetry)
 {
     options.validate();
 
@@ -297,6 +298,22 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
     TELEM_SPAN(grid_span, "sweep.grid");
     grid_span.tag("workloads", static_cast<std::uint64_t>(specs.size()));
     grid_span.tag("depths", static_cast<std::uint64_t>(n_depths));
+    if (telemetry != nullptr) {
+        // Request correlation: the daemon batches concurrent requests
+        // into one pass; these tags are how one slow trace id is
+        // followed from its access-log line into the engine.
+        if (!telemetry->batch_id.empty())
+            grid_span.tag("batch", telemetry->batch_id);
+        if (!telemetry->trace_ids.empty())
+            grid_span.tag("trace_ids", telemetry->trace_ids);
+        // The event stream is ordered, so a grid event here scopes
+        // every following cell event to this batch's trace ids.
+        if (manifest_ != nullptr) {
+            manifest_->event("grid",
+                             {{"batch", telemetry->batch_id},
+                              {"trace_ids", telemetry->trace_ids}});
+        }
+    }
     const CellReporter reportCell(manifest_);
 
     // One lazily prepared replay buffer + annotation set per

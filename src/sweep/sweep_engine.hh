@@ -126,6 +126,19 @@ struct SweepCounters
 };
 
 /**
+ * Request-scoped telemetry context for one engine call. Purely
+ * observational: tags the `sweep.grid` span (and the manifest's
+ * grid event) so a request admitted by the daemon can be followed
+ * into the fused engine pass it was batched into. Never part of the
+ * cache key — results are byte-identical with or without it.
+ */
+struct GridTelemetry
+{
+    std::string batch_id;  //!< caller's correlation id for this pass
+    std::string trace_ids; //!< comma-joined request trace ids served
+};
+
+/**
  * Schedules grids of simulations over worker threads with result
  * memoization. Engines are cheap to construct; counters accumulate
  * over the engine's lifetime.
@@ -142,9 +155,13 @@ class SweepEngine
      * Run the full workloads x depths grid and assemble one
      * SweepResult per workload (same order as @p specs). This is the
      * parallel, cached equivalent of calling runDepthSweep per spec.
+     * @p telemetry optionally tags the pass's `sweep.grid` span with
+     * the caller's correlation ids (GridTelemetry); it never affects
+     * results or the cache key.
      */
     std::vector<SweepResult> runGrid(const std::vector<WorkloadSpec> &specs,
-                                     const SweepOptions &options);
+                                     const SweepOptions &options,
+                                     const GridTelemetry *telemetry = nullptr);
 
     /** One-workload grid. */
     SweepResult runSweep(const WorkloadSpec &spec,

@@ -1,6 +1,7 @@
 #include "telemetry/manifest.hh"
 
 #include <ctime>
+#include <map>
 #include <sstream>
 
 #include "common/failpoint.hh"
@@ -39,6 +40,84 @@ metricKindName(MetricSnapshot::Kind kind)
         return "histogram";
     }
     return "counter";
+}
+
+/** Serialize one snapshot vector as the manifest's metrics object. */
+void
+writeMetricsObject(std::ostringstream &os,
+                   const std::vector<MetricSnapshot> &metrics)
+{
+    os << "{";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const MetricSnapshot &m = metrics[i];
+        os << (i ? "," : "") << "\n    " << jsonQuote(m.name) << ": {";
+        os << "\"kind\": \"" << metricKindName(m.kind) << "\"";
+        switch (m.kind) {
+          case MetricSnapshot::Kind::Counter:
+            os << ", \"value\": " << m.count;
+            break;
+          case MetricSnapshot::Kind::Gauge:
+            os << ", \"value\": " << m.gauge;
+            break;
+          case MetricSnapshot::Kind::Histogram:
+            os << ", \"count\": " << m.count << ", \"sum\": " << m.sum
+               << ", \"buckets\": [";
+            for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+                os << (b ? ", " : "") << "[" << m.buckets[b].first << ", "
+                   << m.buckets[b].second << "]";
+            }
+            os << "]";
+            break;
+        }
+        os << "}";
+    }
+    os << (metrics.empty() ? "" : "\n  ") << "}";
+}
+
+/**
+ * Per-metric difference @p current minus @p baseline: what the
+ * observation window accumulated. Counters and histogram
+ * counts/sums/buckets subtract (clamped at zero against concurrent
+ * updates between the two snapshots); gauges stay instantaneous.
+ * Metrics registered after the baseline appear whole.
+ */
+std::vector<MetricSnapshot>
+metricsDelta(const std::vector<MetricSnapshot> &current,
+             const std::vector<MetricSnapshot> &baseline)
+{
+    std::map<std::string, const MetricSnapshot *> base;
+    for (const MetricSnapshot &m : baseline)
+        base[m.name] = &m;
+
+    std::vector<MetricSnapshot> out;
+    out.reserve(current.size());
+    for (const MetricSnapshot &m : current) {
+        MetricSnapshot d = m;
+        const auto it = base.find(m.name);
+        if (it != base.end() && it->second->kind == m.kind) {
+            const MetricSnapshot &b = *it->second;
+            d.count = m.count >= b.count ? m.count - b.count : 0;
+            d.sum = m.sum >= b.sum ? m.sum - b.sum : 0;
+            if (m.kind == MetricSnapshot::Kind::Histogram) {
+                std::map<std::uint64_t, std::uint64_t> deltas;
+                for (const auto &[lower, n] : m.buckets)
+                    deltas[lower] = n;
+                for (const auto &[lower, n] : b.buckets) {
+                    auto slot = deltas.find(lower);
+                    if (slot != deltas.end())
+                        slot->second =
+                            slot->second >= n ? slot->second - n : 0;
+                }
+                d.buckets.clear();
+                for (const auto &[lower, n] : deltas) {
+                    if (n)
+                        d.buckets.emplace_back(lower, n);
+                }
+            }
+        }
+        out.push_back(std::move(d));
+    }
+    return out;
 }
 
 } // namespace
@@ -142,6 +221,16 @@ RunManifest::recordCell(const ManifestCell &cell)
                    {"attempts", std::to_string(cell.attempts)}});
 }
 
+void
+RunManifest::markMetricsBaseline()
+{
+    const std::vector<MetricSnapshot> snapshot =
+        MetricsRegistry::instance().snapshot();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    window_baseline_ = snapshot;
+    window_set_ = true;
+}
+
 std::string
 RunManifest::toJson() const
 {
@@ -206,31 +295,15 @@ RunManifest::toJson() const
     }
     os << (cells_.empty() ? "" : "\n  ") << "],\n";
 
-    os << "  \"metrics\": {";
-    for (std::size_t i = 0; i < metrics.size(); ++i) {
-        const MetricSnapshot &m = metrics[i];
-        os << (i ? "," : "") << "\n    " << jsonQuote(m.name) << ": {";
-        os << "\"kind\": \"" << metricKindName(m.kind) << "\"";
-        switch (m.kind) {
-          case MetricSnapshot::Kind::Counter:
-            os << ", \"value\": " << m.count;
-            break;
-          case MetricSnapshot::Kind::Gauge:
-            os << ", \"value\": " << m.gauge;
-            break;
-          case MetricSnapshot::Kind::Histogram:
-            os << ", \"count\": " << m.count << ", \"sum\": " << m.sum
-               << ", \"buckets\": [";
-            for (std::size_t b = 0; b < m.buckets.size(); ++b) {
-                os << (b ? ", " : "") << "[" << m.buckets[b].first << ", "
-                   << m.buckets[b].second << "]";
-            }
-            os << "]";
-            break;
-        }
-        os << "}";
+    os << "  \"metrics\": ";
+    writeMetricsObject(os, metrics);
+    os << ",\n";
+
+    if (window_set_) {
+        os << "  \"metrics_window\": ";
+        writeMetricsObject(os, metricsDelta(metrics, window_baseline_));
+        os << ",\n";
     }
-    os << (metrics.empty() ? "" : "\n  ") << "},\n";
 
     os << "  \"spans\": {";
     std::size_t i = 0;
@@ -374,6 +447,12 @@ validateManifest(const JsonValue &manifest, std::string *error)
         if (!v || !v->isObject())
             return failValidation(error, std::string(key) +
                                              " missing or not an object");
+    }
+    // Optional: daemons emit per-window metric deltas next to the
+    // cumulative snapshot (markMetricsBaseline).
+    if (const JsonValue *window = manifest.find("metrics_window");
+        window && !window->isObject()) {
+        return failValidation(error, "metrics_window is not an object");
     }
     return true;
 }

@@ -1,11 +1,108 @@
 #include "telemetry/metrics.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace pipedepth
 {
+
+double
+histogramQuantile(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> &buckets,
+    std::uint64_t count, double q)
+{
+    if (count == 0)
+        return 0.0;
+    const double clamped = std::min(std::max(q, 0.0), 1.0);
+    // Nearest rank: the smallest rank with at least q of the
+    // distribution at or below it.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(clamped * static_cast<double>(count)));
+    if (rank == 0)
+        rank = 1;
+
+    std::uint64_t cum = 0;
+    for (const auto &[lower, n] : buckets) {
+        if (rank <= cum + n) {
+            if (lower == 0)
+                return 0.0; // bucket 0 holds only the sample 0
+            // Bucket [lower, 2*lower): midpoint rule — the k-th of
+            // the bucket's n samples sits at lower + width*(k-0.5)/n.
+            const double width = static_cast<double>(lower);
+            const double k = static_cast<double>(rank - cum);
+            return static_cast<double>(lower) +
+                   width * ((k - 0.5) / static_cast<double>(n));
+        }
+        cum += n;
+    }
+    // count disagreed with the bucket sums (concurrent recording
+    // between the two snapshot reads): answer the top bucket.
+    if (!buckets.empty()) {
+        const std::uint64_t lower = buckets.back().first;
+        return lower == 0 ? 0.0 : 1.5 * static_cast<double>(lower);
+    }
+    return 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        const std::uint64_t n = bucketCount(i);
+        if (n) {
+            buckets.emplace_back(bucketLowerBound(i), n);
+            total += n;
+        }
+    }
+    // Sum the buckets rather than trusting count(): recording is not
+    // atomic across the bucket and count increments, and a quantile
+    // over more ranks than buckets would silently answer the top one.
+    return histogramQuantile(buckets, total, q);
+}
+
+std::string
+metricsSnapshotJson(const std::vector<MetricSnapshot> &metrics)
+{
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const MetricSnapshot &m = metrics[i];
+        os << (i ? ", " : "") << jsonQuote(m.name) << ": {";
+        switch (m.kind) {
+          case MetricSnapshot::Kind::Counter:
+            os << "\"kind\": \"counter\", \"value\": " << m.count;
+            break;
+          case MetricSnapshot::Kind::Gauge:
+            os << "\"kind\": \"gauge\", \"value\": " << m.gauge;
+            break;
+          case MetricSnapshot::Kind::Histogram: {
+            const double mean =
+                m.count ? static_cast<double>(m.sum) /
+                              static_cast<double>(m.count)
+                        : 0.0;
+            os << "\"kind\": \"histogram\", \"count\": " << m.count
+               << ", \"sum\": " << m.sum
+               << ", \"mean\": " << jsonNumber(mean) << ", \"p50\": "
+               << jsonNumber(histogramQuantile(m.buckets, m.count, 0.5))
+               << ", \"p90\": "
+               << jsonNumber(histogramQuantile(m.buckets, m.count, 0.9))
+               << ", \"p99\": "
+               << jsonNumber(
+                      histogramQuantile(m.buckets, m.count, 0.99));
+            break;
+          }
+        }
+        os << "}";
+    }
+    os << "}";
+    return os.str();
+}
 
 MetricsRegistry &
 MetricsRegistry::instance()

@@ -129,6 +129,19 @@ class Histogram
     std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
     std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
 
+    /**
+     * Estimate of the @p q quantile (q in [0, 1]) from the log2
+     * buckets: the sample holding the nearest rank is located in its
+     * bucket and placed by the midpoint rule (the k-th of n samples
+     * of a bucket sits at lower + width * (k - 0.5) / n). The bucket
+     * resolution bounds the error: an estimate is always inside the
+     * target sample's bucket [2^(i-1), 2^i), so the worst-case
+     * relative error is 50% (estimate 1.5L against a true value of L;
+     * tests/telemetry/test_metrics.cc pins the bound). 0 on an empty
+     * histogram.
+     */
+    double quantile(double q) const;
+
     std::uint64_t
     bucketCount(std::size_t i) const
     {
@@ -169,6 +182,27 @@ struct MetricSnapshot
     /** Non-empty buckets only: (inclusive lower bound, count). */
     std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
 };
+
+/**
+ * Quantile estimate over a (lower bound, count) bucket list as found
+ * in MetricSnapshot::buckets — the same nearest-rank-plus-midpoint
+ * rule as Histogram::quantile, usable on snapshots read back from a
+ * manifest or a stats line. @p q in [0, 1]; 0 when @p count is 0.
+ */
+double histogramQuantile(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> &buckets,
+    std::uint64_t count, double q);
+
+/**
+ * Compact one-line JSON rendering of a registry snapshot, keyed by
+ * metric name: counters/gauges as {"kind", "value"}, histograms as
+ * {"kind", "count", "sum", "mean", "p50", "p90", "p99"} with the
+ * quantiles estimated by histogramQuantile. This is the `metrics`
+ * object of the daemon's `stats` response (server/protocol.hh); the
+ * run manifest keeps the full bucket lists instead.
+ */
+std::string
+metricsSnapshotJson(const std::vector<MetricSnapshot> &metrics);
 
 /**
  * Name -> metric instrument map. Instruments are created on first

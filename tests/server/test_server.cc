@@ -23,12 +23,15 @@
 
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <sys/wait.h>
@@ -60,16 +63,29 @@ class ServerTest : public ::testing::Test
         dir_ = tmpl;
         socket_path_ = (dir_ / "pipesimd.sock").string();
         cache_dir_ = (dir_ / "cache").string();
+        access_log_path_ = (dir_ / "access.jsonl").string();
+        daemon_log_path_ = (dir_ / "daemon.log").string();
 
         daemon_pid_ = ::fork();
         ASSERT_NE(daemon_pid_, -1);
         if (daemon_pid_ == 0) {
+            // The daemon's stderr goes to a file so the slow-request
+            // mirror is assertable post-drain.
+            const int log_fd =
+                ::open(daemon_log_path_.c_str(),
+                       O_WRONLY | O_CREAT | O_TRUNC, 0644);
+            if (log_fd != -1) {
+                ::dup2(log_fd, 2);
+                ::close(log_fd);
+            }
             const std::string max_line =
                 std::to_string(kMaxLineBytes);
             ::execl(PIPESIMD_PATH, PIPESIMD_PATH, "--socket",
                     socket_path_.c_str(), "--cache-dir",
                     cache_dir_.c_str(), "--max-line-bytes",
-                    max_line.c_str(), static_cast<char *>(nullptr));
+                    max_line.c_str(), "--access-log",
+                    access_log_path_.c_str(), "--slow-ms",
+                    slow_ms_.c_str(), static_cast<char *>(nullptr));
             _exit(127);
         }
 
@@ -228,9 +244,68 @@ class ServerTest : public ::testing::Test
         EXPECT_EQ(field(done, "type"), "done");
     }
 
+    /** Whole file as parsed JSONL lines (skips blank lines). */
+    static std::vector<JsonValue>
+    readJsonl(const std::string &path)
+    {
+        std::vector<JsonValue> docs;
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        if (f == nullptr)
+            return docs;
+        std::string text;
+        char chunk[4096];
+        std::size_t n = 0;
+        while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+            text.append(chunk, n);
+        std::fclose(f);
+        std::size_t start = 0;
+        while (start < text.size()) {
+            const std::size_t nl = text.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            const std::string line = text.substr(start, nl - start);
+            start = nl + 1;
+            if (line.empty())
+                continue;
+            JsonValue doc;
+            EXPECT_TRUE(JsonValue::parse(line, &doc)) << line;
+            docs.push_back(std::move(doc));
+        }
+        return docs;
+    }
+
+    /**
+     * Access-log lines for @p id. The scheduler writes the entry just
+     * after queuing the response, so a client that read its done line
+     * can race the file append by a few microseconds — poll briefly.
+     */
+    std::vector<JsonValue>
+    accessEntriesFor(const std::string &id) const
+    {
+        for (int attempt = 0; attempt < 100; ++attempt) {
+            std::vector<JsonValue> match;
+            for (auto &doc : readJsonl(access_log_path_)) {
+                const JsonValue *v = doc.find("id");
+                if (v != nullptr && v->isString() && v->string == id)
+                    match.push_back(std::move(doc));
+            }
+            if (!match.empty())
+                return match;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        return {};
+    }
+
     fs::path dir_;
     std::string socket_path_;
     std::string cache_dir_;
+    std::string access_log_path_;
+    std::string daemon_log_path_;
+    /**
+     * Threshold for the --slow-ms mirror. High enough by default that
+     * no test request trips it; SlowMirrorServerTest lowers it.
+     */
+    std::string slow_ms_ = "60000";
     pid_t daemon_pid_ = -1;
 };
 
@@ -454,6 +529,202 @@ TEST_F(ServerTest, SigtermUnlinksSocketAndExitsZero)
     EXPECT_EQ(stopDaemon(), 0);
     EXPECT_FALSE(fs::exists(socket_path_));
     EXPECT_EQ(tryConnect(), -1);
+}
+
+TEST(ServerProtocol, StatsRejectsSweepFieldsByName)
+{
+    // The inline verbs take no sweep parameters; a stats request
+    // smuggling one is a client bug and must be named, not ignored.
+    ServerRequest req;
+    std::string code, message;
+    EXPECT_TRUE(parseServerRequest(
+        "{\"id\": \"s\", \"type\": \"stats\"}", &req, &code,
+        &message));
+    EXPECT_EQ(req.type, ServerRequest::Type::Stats);
+
+    EXPECT_FALSE(parseServerRequest(
+        "{\"id\": \"s\", \"type\": \"stats\", \"workload\": \"db1\"}",
+        &req, &code, &message));
+    EXPECT_EQ(code, proto_error::kBadRequest);
+    EXPECT_NE(message.find("workload"), std::string::npos) << message;
+
+    EXPECT_FALSE(parseServerRequest(
+        "{\"id\": \"h\", \"type\": \"health\", \"min_depth\": 2}",
+        &req, &code, &message));
+    EXPECT_EQ(code, proto_error::kBadRequest);
+    EXPECT_NE(message.find("min_depth"), std::string::npos) << message;
+}
+
+TEST_F(ServerTest, StatsAndHealthAnswerUnderConcurrentLoad)
+{
+    // Inline verbs are answered on the I/O thread: they must get a
+    // response even while sweeps occupy the scheduler.
+    std::vector<std::thread> sweeps;
+    for (int i = 0; i < 3; ++i) {
+        sweeps.emplace_back([this, i] {
+            expectGoodSweep(
+                transact(goodRequest("load-" + std::to_string(i))),
+                "load-" + std::to_string(i));
+        });
+    }
+
+    const auto stats =
+        transact("{\"id\": \"st\", \"type\": \"stats\"}\n");
+    ASSERT_EQ(stats.size(), 1u);
+    const JsonValue sdoc = parseLine(stats[0]);
+    EXPECT_EQ(field(sdoc, "id"), "st");
+    EXPECT_EQ(field(sdoc, "type"), "stats");
+    EXPECT_EQ(field(sdoc, "status"), "serving");
+    EXPECT_FALSE(field(sdoc, "git").empty());
+    ASSERT_NE(sdoc.find("uptime_s"), nullptr);
+    EXPECT_GE(sdoc.find("uptime_s")->number, 0.0);
+    ASSERT_NE(sdoc.find("cache"), nullptr);
+    EXPECT_TRUE(sdoc.find("cache")->isObject());
+    const JsonValue *metrics = sdoc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_TRUE(metrics->isObject());
+    EXPECT_NE(metrics->find("server.conn.accepted"), nullptr);
+
+    const auto health =
+        transact("{\"id\": \"he\", \"type\": \"health\"}\n");
+    ASSERT_EQ(health.size(), 1u);
+    const JsonValue hdoc = parseLine(health[0]);
+    EXPECT_EQ(field(hdoc, "id"), "he");
+    EXPECT_EQ(field(hdoc, "type"), "health");
+    EXPECT_EQ(field(hdoc, "status"), "serving");
+    // The cheap probe must not drag the registry snapshot along.
+    EXPECT_EQ(hdoc.find("metrics"), nullptr);
+
+    for (auto &t : sweeps)
+        t.join();
+}
+
+TEST_F(ServerTest, ClientTraceIdEchoedOnEveryLine)
+{
+    const std::string req =
+        "{\"id\": \"t1\", \"trace_id\": \"cli-trace-42\", "
+        "\"type\": \"sweep\", \"workload\": \"db1\", "
+        "\"min_depth\": 2, \"max_depth\": 5, "
+        "\"reference_depth\": 3, \"trace_length\": 15000, "
+        "\"warmup\": 1500}\n";
+    const auto lines = transact(req);
+    expectGoodSweep(lines, "t1");
+    for (const std::string &line : lines)
+        EXPECT_EQ(field(parseLine(line), "trace_id"), "cli-trace-42")
+            << line;
+
+    const auto entries = accessEntriesFor("t1");
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(field(entries[0], "trace_id"), "cli-trace-42");
+    EXPECT_EQ(field(entries[0], "outcome"), "ok");
+}
+
+TEST_F(ServerTest, GeneratedTraceIdIsStableAcrossLines)
+{
+    const auto lines = transact(goodRequest("g1"));
+    expectGoodSweep(lines, "g1");
+    const std::string trace = field(parseLine(lines[0]), "trace_id");
+    EXPECT_EQ(trace.rfind("pd-", 0), 0u)
+        << "daemon-minted ids carry the pd- prefix: " << trace;
+    for (const std::string &line : lines)
+        EXPECT_EQ(field(parseLine(line), "trace_id"), trace) << line;
+}
+
+TEST_F(ServerTest, AccessLogLineSchemaIsPinned)
+{
+    expectGoodSweep(transact(goodRequest("al1")), "al1");
+    const auto entries = accessEntriesFor("al1");
+    ASSERT_EQ(entries.size(), 1u);
+    const JsonValue &doc = entries[0];
+
+    // The exact ordered key set is the schema other tooling (CI's
+    // exactly-once audit, jq one-liners in the docs) depends on.
+    const std::vector<std::string> expected = {
+        "ts_us",     "trace_id", "id",        "peer",
+        "kind",      "workload", "shape",     "cells",
+        "cached",    "computed", "holes",     "queue_us",
+        "parse_us",  "batch_us", "engine_us", "serialize_us",
+        "total_us",  "outcome"};
+    std::vector<std::string> keys;
+    for (const auto &[key, value] : doc.object)
+        keys.push_back(key);
+    EXPECT_EQ(keys, expected);
+
+    EXPECT_EQ(field(doc, "kind"), "sweep");
+    EXPECT_EQ(field(doc, "workload"), "db1");
+    EXPECT_EQ(field(doc, "outcome"), "ok");
+    EXPECT_EQ(doc.find("peer")->string.rfind("pid:", 0), 0u);
+    EXPECT_EQ(static_cast<int>(doc.find("cells")->number), 4);
+    EXPECT_GT(doc.find("engine_us")->number, 0.0);
+    EXPECT_GT(doc.find("total_us")->number, 0.0);
+}
+
+TEST_F(ServerTest, AccessLogCoversEveryRequestExactlyOnce)
+{
+    // Served, refused and probe requests each get exactly one line;
+    // the drained log accounts for everything the daemon answered.
+    expectGoodSweep(transact(goodRequest("c1")), "c1");
+    expectGoodSweep(transact(goodRequest("c2")), "c2");
+    transact("{\"id\": \"bad\", \"type\": \"nope\"}\n");
+    transact("{\"id\": \"pr\", \"type\": \"stats\"}\n");
+    EXPECT_EQ(stopDaemon(), 0);
+
+    const auto docs = readJsonl(access_log_path_);
+    ASSERT_EQ(docs.size(), 4u);
+    std::map<std::string, int> by_id;
+    for (const auto &doc : docs)
+        ++by_id[field(doc, "id")];
+    EXPECT_EQ(by_id["c1"], 1);
+    EXPECT_EQ(by_id["c2"], 1);
+    EXPECT_EQ(by_id["bad"], 1);
+    EXPECT_EQ(by_id["pr"], 1);
+    for (const auto &doc : docs) {
+        if (field(doc, "id") == "bad") {
+            EXPECT_EQ(field(doc, "kind"), "invalid");
+            EXPECT_EQ(field(doc, "outcome"),
+                      proto_error::kBadRequest);
+        }
+    }
+}
+
+/** Same daemon, but with a 1ms slow-request mirror threshold. */
+class SlowMirrorServerTest : public ServerTest
+{
+  protected:
+    SlowMirrorServerTest() { slow_ms_ = "1"; }
+};
+
+TEST_F(SlowMirrorServerTest, SlowRequestMirroredExactlyOnce)
+{
+    const std::string req =
+        "{\"id\": \"slow1\", \"trace_id\": \"slow-trace-1\", "
+        "\"type\": \"sweep\", \"workload\": \"db1\", "
+        "\"min_depth\": 2, \"max_depth\": 5, "
+        "\"reference_depth\": 3, \"trace_length\": 15000, "
+        "\"warmup\": 1500}\n";
+    expectGoodSweep(transact(req), "slow1");
+    // A cheap probe must never trip the mirror, whatever the
+    // threshold — it is a grid-request feature.
+    transact("{\"id\": \"pr\", \"type\": \"health\"}\n");
+    EXPECT_EQ(stopDaemon(), 0);
+
+    std::FILE *f = std::fopen(daemon_log_path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string log;
+    char chunk[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        log.append(chunk, n);
+    std::fclose(f);
+
+    std::size_t mirrors = 0;
+    for (std::size_t at = log.find("slow request");
+         at != std::string::npos;
+         at = log.find("slow request", at + 1))
+        ++mirrors;
+    EXPECT_EQ(mirrors, 1u) << log;
+    EXPECT_NE(log.find("trace_id=slow-trace-1"), std::string::npos)
+        << log;
 }
 
 } // namespace

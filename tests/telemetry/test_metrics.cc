@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -137,6 +139,118 @@ TEST(MetricsRegistry, SnapshotIsSortedAndComplete)
         }
     }
     EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+}
+
+TEST(HistogramQuantile, EmptyAndAllZeroHistogramsAnswerZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    h.record(0);
+    h.record(0);
+    EXPECT_EQ(h.quantile(0.0), 0.0);
+    EXPECT_EQ(h.quantile(0.99), 0.0);
+    EXPECT_EQ(histogramQuantile({}, 0, 0.5), 0.0);
+}
+
+TEST(HistogramQuantile, QIsClampedToTheUnitInterval)
+{
+    Histogram h;
+    h.record(100);
+    EXPECT_EQ(h.quantile(-3.0), h.quantile(0.0));
+    EXPECT_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST(HistogramQuantile, MidpointRulePlacesRanksWithinTheBucket)
+{
+    // Four samples in bucket [8, 16): the k-th of n sits at
+    // lower + width * (k - 0.5) / n, so the ranks land at 9, 11, 13
+    // and 15 — documented behaviour, pinned here.
+    Histogram h;
+    for (int i = 0; i < 4; ++i)
+        h.record(8);
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 9.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 11.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.75), 13.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 15.0);
+}
+
+TEST(HistogramQuantile, WorstCaseRelativeErrorIsBoundedByHalf)
+{
+    // The estimate always lands inside the target sample's log2
+    // bucket, so the worst case is a sample at the bucket's lower
+    // bound L answered by the single-sample midpoint 1.5L — a 50%
+    // relative error, and never more. Pin both: the bound holds
+    // across magnitudes, and the worst case actually reaches it.
+    for (const std::uint64_t v :
+         {1ull, 2ull, 3ull, 100ull, 1024ull, 1000000ull,
+          123456789ull}) {
+        Histogram h;
+        h.record(v);
+        const double estimate = h.quantile(0.5);
+        const double rel =
+            std::abs(estimate - static_cast<double>(v)) /
+            static_cast<double>(v);
+        EXPECT_LE(rel, 0.5) << "value " << v << " estimated as "
+                            << estimate;
+    }
+    Histogram worst;
+    worst.record(1024); // exactly a bucket lower bound
+    EXPECT_DOUBLE_EQ(worst.quantile(0.5), 1536.0); // 1.5 * 1024
+}
+
+TEST(HistogramQuantile, QuantilesAreMonotonicInQ)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.record(v * 7 % 997);
+    double last = -1.0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const double est = h.quantile(q);
+        EXPECT_GE(est, last) << "q=" << q;
+        last = est;
+    }
+}
+
+TEST(HistogramQuantile, SnapshotHelperMatchesTheInstrument)
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    Histogram &h = reg.histogram("test.quantile.snapshot");
+    h.reset();
+    for (const std::uint64_t v : {3ull, 40ull, 500ull, 6000ull, 6001ull})
+        h.record(v);
+
+    const std::vector<MetricSnapshot> snap = reg.snapshot();
+    const MetricSnapshot *mine = nullptr;
+    for (const auto &m : snap)
+        if (m.name == "test.quantile.snapshot")
+            mine = &m;
+    ASSERT_NE(mine, nullptr);
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+        EXPECT_DOUBLE_EQ(
+            histogramQuantile(mine->buckets, mine->count, q),
+            h.quantile(q))
+            << "q=" << q;
+    }
+    h.reset();
+}
+
+TEST(MetricsSnapshotJson, RendersKindsAndQuantiles)
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    reg.counter("test.json.counter").add(3);
+    reg.histogram("test.json.hist").record(8);
+
+    const std::string json = metricsSnapshotJson(reg.snapshot());
+    EXPECT_NE(json.find("\"test.json.counter\": {\"kind\": "
+                        "\"counter\", \"value\": 3}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\": 12"), std::string::npos)
+        << "single sample in [8,16) estimates 12: " << json;
+
+    reg.counter("test.json.counter").reset();
+    reg.histogram("test.json.hist").reset();
 }
 
 TEST(MetricsRegistry, ConcurrentUpdatesAreLossless)

@@ -31,12 +31,19 @@
  * the harness counts those separately as "refused" and does not fail
  * on them (only in the drain phase; anywhere else they are errors).
  *
- * --out FILE writes the measurements as JSON (schema below; the
- * committed BENCH_server_latency.json at the repo root is a run of
- * this harness). --baseline FILE re-reads such a file and gates:
- * exit 1 when the baseline's schema is stale, when any request was
- * dropped or errored, or when the measured warm-over-cold p99
- * speedup falls below the baseline's min_warm_speedup_p99 floor.
+ * Done lines carry per-phase latency attribution (`phase_us`, see
+ * server/protocol.hh); the harness aggregates the queue and engine
+ * phases into per-phase p50/p99 so a regression can be blamed on
+ * "waiting for the scheduler" vs "simulating" without re-running
+ * anything.
+ *
+ * --out FILE writes the measurements as JSON (schema below — version
+ * 2, which added the per-phase quantiles; the committed
+ * BENCH_server_latency.json at the repo root is a run of this
+ * harness). --baseline FILE re-reads such a file and gates: exit 1
+ * when the baseline's schema is stale, when any request was dropped
+ * or errored, or when the measured warm-over-cold p99 speedup falls
+ * below the baseline's min_warm_speedup_p99 floor.
  */
 
 #include <algorithm>
@@ -64,7 +71,7 @@ using namespace pipedepth;
 namespace
 {
 
-constexpr int kSchemaVersion = 1;
+constexpr int kSchemaVersion = 2;
 
 struct Options
 {
@@ -86,6 +93,8 @@ struct Observation
     std::uint64_t cached = 0;
     std::uint64_t computed = 0;
     std::uint64_t holes = 0;
+    double queue_us = 0.0;  //!< phase_us.queue of the done line
+    double engine_us = 0.0; //!< phase_us.engine of the done line
 };
 
 /** Aggregated phase measurements. */
@@ -100,6 +109,12 @@ struct PhaseStats
     std::uint64_t holes = 0;
     double p50_us = 0.0;
     double p99_us = 0.0;
+    // Daemon-reported attribution: time spent waiting for the
+    // scheduler vs inside the engine pass that served the request.
+    double queue_p50_us = 0.0;
+    double queue_p99_us = 0.0;
+    double engine_p50_us = 0.0;
+    double engine_p99_us = 0.0;
 
     double
     hitRate() const
@@ -213,6 +228,14 @@ runClient(const std::string &socket_path, const std::string &request,
                 if (const JsonValue *v = doc.find("holes"))
                     obs->holes =
                         static_cast<std::uint64_t>(v->number);
+                if (const JsonValue *v = doc.find("phase_us")) {
+                    if (const JsonValue *q = v->find("queue"))
+                        if (q->isNumber())
+                            obs->queue_us = q->number;
+                    if (const JsonValue *e = v->find("engine"))
+                        if (e->isNumber())
+                            obs->engine_us = e->number;
+                }
                 finished = true;
             } else if (type->string == "error") {
                 obs->error = true;
@@ -260,11 +283,15 @@ runPhase(const Options &opt,
 
     PhaseStats stats;
     stats.requests = requests.size();
-    std::vector<double> latencies;
+    std::vector<double> latencies, queue_waits, engine_times;
     latencies.reserve(obs.size());
+    queue_waits.reserve(obs.size());
+    engine_times.reserve(obs.size());
     for (const Observation &o : obs) {
         if (o.done) {
             latencies.push_back(o.latency_us);
+            queue_waits.push_back(o.queue_us);
+            engine_times.push_back(o.engine_us);
             stats.cached += o.cached;
             stats.computed += o.computed;
             stats.holes += o.holes;
@@ -285,6 +312,10 @@ runPhase(const Options &opt,
     }
     stats.p50_us = percentile(latencies, 50.0);
     stats.p99_us = percentile(latencies, 99.0);
+    stats.queue_p50_us = percentile(queue_waits, 50.0);
+    stats.queue_p99_us = percentile(queue_waits, 99.0);
+    stats.engine_p50_us = percentile(engine_times, 50.0);
+    stats.engine_p99_us = percentile(engine_times, 99.0);
     return stats;
 }
 
@@ -318,11 +349,17 @@ writeResult(std::FILE *f, const Options &opt, const PhaseStats &cold,
                      "    \"holes\": %llu,\n"
                      "    \"p50_us\": %.1f,\n"
                      "    \"p99_us\": %.1f,\n"
+                     "    \"queue_p50_us\": %.1f,\n"
+                     "    \"queue_p99_us\": %.1f,\n"
+                     "    \"engine_p50_us\": %.1f,\n"
+                     "    \"engine_p99_us\": %.1f,\n"
                      "    \"hit_rate\": %.4f\n"
                      "  },\n",
                      name, s.requests, s.dropped, s.errors, s.refused,
                      static_cast<unsigned long long>(s.holes),
-                     s.p50_us, s.p99_us, s.hitRate());
+                     s.p50_us, s.p99_us, s.queue_p50_us,
+                     s.queue_p99_us, s.engine_p50_us, s.engine_p99_us,
+                     s.hitRate());
     };
     std::fprintf(f, "{\n  \"schema_version\": %d,\n", kSchemaVersion);
     std::fprintf(f, "  \"git\": %s,\n",
@@ -474,6 +511,11 @@ main(int argc, char **argv)
                  "hit-rate %.2f dropped %zu errors %zu\n",
                  cold.p50_us, cold.p99_us, cold.hitRate(),
                  cold.dropped, cold.errors);
+    std::fprintf(stderr,
+                 "pipesim_load: cold phases queue p50 %.0fus "
+                 "p99 %.0fus, engine p50 %.0fus p99 %.0fus\n",
+                 cold.queue_p50_us, cold.queue_p99_us,
+                 cold.engine_p50_us, cold.engine_p99_us);
 
     std::fprintf(stderr, "pipesim_load: warm phase, %zu clients%s\n",
                  opt.clients,
@@ -484,6 +526,11 @@ main(int argc, char **argv)
                  "hit-rate %.2f dropped %zu errors %zu refused %zu\n",
                  warm.p50_us, warm.p99_us, warm.hitRate(),
                  warm.dropped, warm.errors, warm.refused);
+    std::fprintf(stderr,
+                 "pipesim_load: warm phases queue p50 %.0fus "
+                 "p99 %.0fus, engine p50 %.0fus p99 %.0fus\n",
+                 warm.queue_p50_us, warm.queue_p99_us,
+                 warm.engine_p50_us, warm.engine_p99_us);
 
     // After a drain the socket is unlinked: a fresh connection must
     // be refused.

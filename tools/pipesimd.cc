@@ -6,8 +6,15 @@
  *   pipesimd --socket PATH [--threads N] [--no-cache]
  *            [--cache-dir DIR] [--max-queue N] [--max-line-bytes N]
  *            [--max-retries N] [--manifest-out FILE]
- *            [--events-out FILE] [--failpoint SPEC]
- *            [--failpoint-seed N]
+ *            [--events-out FILE] [--access-log FILE] [--slow-ms N]
+ *            [--failpoint SPEC] [--failpoint-seed N]
+ *
+ * Observability (docs/OBSERVABILITY.md): every admitted request
+ * carries a trace id (client-sent or daemon-minted) echoed on all its
+ * response lines; `stats` and `health` protocol verbs answer in-band
+ * (probe with tools/pipesim_stat.cc); --access-log writes one flushed
+ * JSONL line per answered request; --slow-ms mirrors requests at or
+ * over the threshold to the daemon log.
  *
  * Listens on an AF_UNIX stream socket for newline-delimited JSON
  * sweep and optimum-depth queries (protocol: docs/SERVER.md; load
@@ -66,6 +73,7 @@ usage(const char *argv0)
         "          [--cache-dir DIR] [--max-queue N]\n"
         "          [--max-line-bytes N] [--max-retries N]\n"
         "          [--manifest-out FILE] [--events-out FILE]\n"
+        "          [--access-log FILE] [--slow-ms N]\n"
         "          [--failpoint SPEC] [--failpoint-seed N]\n",
         argv0);
     std::exit(2);
@@ -124,6 +132,11 @@ main(int argc, char **argv)
             opt.manifest_out = args[++i];
         } else if (arg == "--events-out" && has_value) {
             opt.events_out = args[++i];
+        } else if (arg == "--access-log" && has_value) {
+            opt.access_log = args[++i];
+        } else if (arg == "--slow-ms" && has_value) {
+            opt.slow_ms =
+                std::strtoull(args[++i].c_str(), nullptr, 10);
         } else if (arg == "--failpoint" && has_value) {
             failpoint_spec = args[++i];
         } else if (arg == "--failpoint-seed" && has_value) {
