@@ -1,0 +1,21 @@
+#include "common/proc.hh"
+
+#include <cerrno>
+#include <csignal>
+
+namespace pipedepth
+{
+
+bool
+processAlive(pid_t pid)
+{
+    if (pid <= 0)
+        return false;
+    if (::kill(pid, 0) == 0)
+        return true;
+    // ESRCH is the only definitive "no such process"; everything else
+    // (EPERM foremost) means someone is there.
+    return errno != ESRCH;
+}
+
+} // namespace pipedepth

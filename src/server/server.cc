@@ -38,6 +38,8 @@ struct ServerMetrics
         MetricsRegistry::instance().counter("server.batch.runs");
     Counter &conns =
         MetricsRegistry::instance().counter("server.conn.accepted");
+    Counter &idle_closed =
+        MetricsRegistry::instance().counter("server.conn.idle.closed");
     Counter &socket_swept =
         MetricsRegistry::instance().counter("server.socket.swept");
     Counter &stats_probes =
@@ -379,7 +381,34 @@ SweepServer::ioLoop()
             fd_conn.push_back(id);
         }
 
-        if (::poll(fds.data(), fds.size(), -1) == -1) {
+        // Normally the loop blocks until I/O; with the idle timeout
+        // armed and at least one connection sitting mid-line, poll
+        // must wake when the earliest such connection expires — a
+        // slow-loris peer by definition produces no event to wake on.
+        int poll_timeout = -1;
+        if (options_.idle_timeout_ms > 0) {
+            const auto now = std::chrono::steady_clock::now();
+            for (const auto &[id, conn] : connections_) {
+                if (conn.in.empty() || conn.inflight > 0 ||
+                    conn.close_after_flush)
+                    continue;
+                const double idle_ms =
+                    std::chrono::duration<double, std::milli>(
+                        now - conn.last_read)
+                        .count();
+                const double remaining =
+                    static_cast<double>(options_.idle_timeout_ms) -
+                    idle_ms;
+                const int ms =
+                    remaining <= 0.0 ? 0
+                                     : static_cast<int>(remaining) + 1;
+                poll_timeout = poll_timeout < 0
+                                   ? ms
+                                   : std::min(poll_timeout, ms);
+            }
+        }
+
+        if (::poll(fds.data(), fds.size(), poll_timeout) == -1) {
             if (errno == EINTR)
                 continue;
             PP_WARN("pipesimd: poll(): ", std::strerror(errno));
@@ -407,6 +436,7 @@ SweepServer::ioLoop()
                     }
                     Connection conn;
                     conn.fd = fd;
+                    conn.last_read = std::chrono::steady_clock::now();
                     ucred cred{};
                     socklen_t cred_len = sizeof(cred);
                     if (::getsockopt(fd, SOL_SOCKET, SO_PEERCRED,
@@ -437,6 +467,8 @@ SweepServer::ioLoop()
                     const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
                     if (n > 0) {
                         conn.in.append(buf, static_cast<std::size_t>(n));
+                        conn.last_read =
+                            std::chrono::steady_clock::now();
                     } else if (n == 0) {
                         // Half-close: the client is done sending but
                         // may still be reading. In-flight requests
@@ -494,6 +526,35 @@ SweepServer::ioLoop()
                            errno != EWOULDBLOCK) {
                     to_close.push_back(conn_id);
                     continue;
+                }
+            }
+        }
+
+        // Slow-loris expiry: drop connections that sat mid-line past
+        // the idle timeout. Closed outright, no error line — a peer
+        // dribbling bytes to hold the fd is not owed a flush, and
+        // buffering a response for a non-reading peer is exactly the
+        // resource leak this defends against.
+        if (options_.idle_timeout_ms > 0) {
+            const auto now = std::chrono::steady_clock::now();
+            for (const auto &[id, conn] : connections_) {
+                if (conn.in.empty() || conn.inflight > 0 ||
+                    conn.close_after_flush)
+                    continue;
+                const double idle_ms =
+                    std::chrono::duration<double, std::milli>(
+                        now - conn.last_read)
+                        .count();
+                if (idle_ms >=
+                    static_cast<double>(options_.idle_timeout_ms)) {
+                    serverMetrics().idle_closed.add();
+                    PP_INFORM("pipesimd: closing connection ",
+                              conn.peer.empty() ? "(unknown peer)"
+                                                : conn.peer,
+                              " idle mid-line for ",
+                              static_cast<std::uint64_t>(idle_ms),
+                              " ms");
+                    to_close.push_back(id);
                 }
             }
         }

@@ -89,6 +89,17 @@ struct ServerOptions
     std::size_t max_line_bytes = 65536;
 
     /**
+     * Slow-loris hardening (0 = off): a connection that has buffered
+     * bytes but no complete line (mid-line) and nothing in flight is
+     * closed once it sits idle this long. Complete-line requests are
+     * never affected — an idle connection with an *empty* input
+     * buffer is a legitimate keep-alive and stays open, and a
+     * connection waiting on an admitted request is busy, not idle.
+     * Each expiry counts on `server.conn.idle.closed`.
+     */
+    std::uint64_t idle_timeout_ms = 0;
+
+    /**
      * Manifest path written on drain ("" = no file; the manifest
      * still accumulates in memory and its path is echoed on done
      * lines only when set).
@@ -161,6 +172,9 @@ class SweepServer
         bool close_after_flush = false;
         bool peer_eof = false;     //!< read side saw EOF (half-close)
         std::size_t inflight = 0;  //!< admitted, not yet answered
+        /** Last byte received; idle-timeout expiry measures from
+         *  here (slow-loris hardening, ServerOptions). */
+        std::chrono::steady_clock::time_point last_read;
     };
 
     /** One admitted request awaiting the scheduler. */

@@ -1,7 +1,5 @@
 #include "sweep/checkpoint.hh"
 
-#include <cerrno>
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -13,6 +11,7 @@
 #include "common/failpoint.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/proc.hh"
 #include "telemetry/metrics.hh"
 
 namespace pipedepth
@@ -98,7 +97,7 @@ isStaleCheckpointTemp(const std::string &filename,
         return false;
     if (pid == static_cast<unsigned long>(::getpid()))
         return false;
-    return ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
+    return !processAlive(static_cast<pid_t>(pid));
 }
 
 } // namespace

@@ -8,13 +8,11 @@
 #include <fstream>
 #include <mutex>
 
-#include <csignal>
-#include <cerrno>
-
 #include <unistd.h>
 
 #include "common/failpoint.hh"
 #include "common/logging.hh"
+#include "common/proc.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/telemetry.hh"
 
@@ -265,7 +263,7 @@ isStaleTempFile(const std::string &filename)
         return false;
     if (pid == static_cast<unsigned long>(::getpid()))
         return false;
-    return ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
+    return !processAlive(static_cast<pid_t>(pid));
 }
 
 } // namespace

@@ -282,6 +282,24 @@ SweepEngine::SweepEngine(const SweepEngineOptions &options)
                         : options.cache_dir)
                  : std::string())
 {
+    if (options_.shards > 1) {
+        // The cache is the shared result substrate: without it the
+        // other shards' work can never reach this one, so sharding
+        // would only split the grid without merging it back.
+        if (!cache_.enabled()) {
+            PP_WARN("sweep engine: shards=", options_.shards,
+                    " requested without a usable result cache; "
+                    "running unsharded");
+        } else {
+            ShardOptions shard_options;
+            shard_options.shards = options_.shards;
+            shard_options.shard_id = options_.shard_id;
+            shard_options.dir = options_.shard_dir;
+            shard_options.poll_ms = options_.shard_poll_ms;
+            shard_coordinator_ =
+                std::make_unique<ShardCoordinator>(shard_options);
+        }
+    }
 }
 
 std::vector<SweepResult>
@@ -400,6 +418,28 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
             if (corrupt)
                 tallies.errors.fetch_add(1);
         }
+
+        // Another shard already exhausted this cell's retries: adopt
+        // its hole (same cause, same attempt count) instead of
+        // re-running a known-failing cell (docs/SHARDING.md).
+        if (shard_coordinator_) {
+            FailureRecord record;
+            if (shard_coordinator_->lookupQuarantine(
+                    spec.name, cell.depth, &record)) {
+                TELEM_SPAN(span, "sweep.cell");
+                span.tag("workload", spec.name);
+                span.tag("depth", cell.depth);
+                span.tag("outcome", "quarantined");
+                tallies.quarantined.fetch_add(1);
+                reportCell(spec.name, cell.depth,
+                           ManifestCell::Outcome::Quarantined, 0.0, 0,
+                           record.attempts);
+                tallies.recordFailure(cell.spec, std::move(record));
+                noteCellResolved();
+                out = holeResult(spec.name, config);
+                return true;
+            }
+        }
         return false;
     };
 
@@ -469,10 +509,12 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
             failures.add();
             tallies.quarantined.fetch_add(1);
             span.tag("outcome", "quarantined");
-            tallies.recordFailure(
-                cell.spec,
-                FailureRecord{spec.name, cell.depth, attempt.cause,
-                              attempt.failpoint, attempt.attempts});
+            const FailureRecord record{spec.name, cell.depth,
+                                       attempt.cause, attempt.failpoint,
+                                       attempt.attempts};
+            if (shard_coordinator_)
+                shard_coordinator_->recordQuarantine(record);
+            tallies.recordFailure(cell.spec, record);
             reportCell(spec.name, cell.depth,
                        ManifestCell::Outcome::Quarantined,
                        secondsSinceStart(), 0, attempt.attempts);
@@ -508,6 +550,7 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
         std::size_t spec;
         std::size_t begin; //!< first index into cells
         std::size_t end;   //!< one past the last
+        bool foreign = false; //!< outside this shard's partition
     };
     const unsigned workers =
         parallelWorkerCount(options_.threads, cells.size(), 1);
@@ -515,11 +558,17 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
     // fill the pool; otherwise split each depth range so work
     // stealing still balances the tail — but never below 4 cells,
     // since fusion amortizes the streaming cost across the group.
+    // Under sharding the split is derived from the shard count, NOT
+    // the thread pool: every worker process must form the identical
+    // groups or the lease keys would not line up.
+    const std::size_t schedule_width =
+        shard_coordinator_
+            ? static_cast<std::size_t>(shard_coordinator_->shards()) * 2
+            : static_cast<std::size_t>(workers);
     std::size_t groups_per_spec = 1;
-    if (specs.size() < static_cast<std::size_t>(workers) * 3) {
+    if (specs.size() < schedule_width * 3) {
         groups_per_spec =
-            (static_cast<std::size_t>(workers) * 3 + specs.size() - 1) /
-            specs.size();
+            (schedule_width * 3 + specs.size() - 1) / specs.size();
     }
     const std::size_t group_span = std::max<std::size_t>(
         4, (n_depths + groups_per_spec - 1) / groups_per_spec);
@@ -528,8 +577,21 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
         for (std::size_t b = 0; b < n_depths; b += group_span) {
             groups.push_back(
                 Group{s, s * n_depths + b,
-                      s * n_depths + std::min(n_depths, b + group_span)});
+                      s * n_depths + std::min(n_depths, b + group_span),
+                      false});
         }
+    }
+    if (shard_coordinator_) {
+        // Round-robin partition by canonical group index. Own groups
+        // run first; foreign ones follow as work stealing — visited
+        // only once a worker's own partition has drained, and
+        // resolved from the cache when their live owner finishes
+        // first. Reordering is safe: results map back through
+        // Group::begin, not group order.
+        for (std::size_t g = 0; g < groups.size(); ++g)
+            groups[g].foreign = !shard_coordinator_->mine(g);
+        std::stable_partition(groups.begin(), groups.end(),
+                              [](const Group &g) { return !g.foreign; });
     }
 
     const bool fuse = options_.fused_walk && fusedWalkEnabled();
@@ -537,93 +599,191 @@ SweepEngine::runGrid(const std::vector<WorkloadSpec> &specs,
         const std::size_t count = group.end - group.begin;
         std::vector<SimResult> out(count);
         std::vector<CacheKey> keys(count);
-        std::vector<std::size_t> missing;
-        for (std::size_t i = 0; i < count; ++i) {
-            if (!probeCell(cells[group.begin + i], out[i], keys[i]))
-                missing.push_back(i);
-        }
+        std::vector<char> resolved(count, 0);
 
-        // Fused fast path. Never entered with failpoints armed: the
-        // fault-injection contracts (per-cell attempt counts, partial
-        // failures) are defined against the per-cell path.
-        if (fuse && missing.size() > 1 && !failpoints::anyActive()) {
-            const WorkloadSpec &spec = specs[group.spec];
-            std::vector<PipelineConfig> fused_configs;
-            fused_configs.reserve(missing.size());
-            for (std::size_t i : missing) {
-                fused_configs.push_back(
-                    options.configAtDepth(cells[group.begin + i].depth));
+        // Probe every still-unresolved cell (interrupt holes, cache,
+        // cross-shard quarantine records) and return the indices left
+        // over. The resolved flags make re-probes — the shard wait
+        // loop probes after every poll round — report each cell to
+        // the manifest and checkpoint exactly once.
+        auto probeMissing = [&]() {
+            std::vector<std::size_t> missing;
+            for (std::size_t i = 0; i < count; ++i) {
+                if (resolved[i])
+                    continue;
+                if (probeCell(cells[group.begin + i], out[i], keys[i]))
+                    resolved[i] = 1;
+                else
+                    missing.push_back(i);
             }
-            if (canFuseConfigs(fused_configs)) {
-                try {
-                    SpecReplay &sr = *replays[group.spec];
-                    std::call_once(sr.once, [&]() {
-                        TELEM_SPAN(prepare_span, "sweep.trace.prepare");
-                        prepare_span.tag("workload", spec.name);
-                        sr.replay = prepareReplay(
-                            spec.makeTrace(options.trace_length));
-                        sr.annotations = annotateReplay(
-                            sr.replay, fused_configs.front());
-                        tallies.traces.fetch_add(1);
-                    });
-                    bool all_match = true;
-                    for (const PipelineConfig &config : fused_configs) {
-                        if (!sr.annotations.matches(config,
-                                                    sr.replay.size())) {
-                            all_match = false;
-                            break;
-                        }
-                    }
-                    if (all_match) {
-                        TELEM_SPAN(span, "sweep.cell.fused");
-                        span.tag("workload", spec.name);
-                        span.tag("cells", static_cast<std::uint64_t>(
-                                              missing.size()));
-                        const auto start =
-                            std::chrono::steady_clock::now();
-                        std::vector<SimResult> fused_results =
-                            simulateMultiDepth(sr.replay, sr.annotations,
-                                               fused_configs);
-                        // The walk's wall time is genuinely joint;
-                        // attribute an equal share to each cell so the
-                        // per-cell latency distribution stays
-                        // comparable across paths.
-                        const double per_cell =
-                            std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - start)
-                                .count() /
-                            static_cast<double>(missing.size());
-                        for (std::size_t m = 0; m < missing.size(); ++m) {
-                            const std::size_t i = missing[m];
-                            const Cell &cell = cells[group.begin + i];
-                            SimResult &result = fused_results[m];
-                            tallies.recordCellSeconds(per_cell);
-                            tallies.computed.fetch_add(1);
-                            tallies.instructions.fetch_add(
-                                result.instructions);
-                            reportCell(spec.name, cell.depth,
-                                       ManifestCell::Outcome::Computed,
-                                       per_cell, result.instructions);
-                            if (cache_.enabled() &&
-                                cache_.store(keys[i], result)) {
-                                tallies.stores.fetch_add(1);
+            return missing;
+        };
+
+        // Simulate @p missing: one fused multi-depth walk when the
+        // shapes allow, the per-cell retry/quarantine path otherwise.
+        auto computeMissing = [&](const std::vector<std::size_t>
+                                      &missing) {
+            // Fused fast path. Never entered with failpoints armed:
+            // the fault-injection contracts (per-cell attempt counts,
+            // partial failures) are defined against the per-cell path.
+            if (fuse && missing.size() > 1 && !failpoints::anyActive()) {
+                const WorkloadSpec &spec = specs[group.spec];
+                std::vector<PipelineConfig> fused_configs;
+                fused_configs.reserve(missing.size());
+                for (std::size_t i : missing) {
+                    fused_configs.push_back(options.configAtDepth(
+                        cells[group.begin + i].depth));
+                }
+                if (canFuseConfigs(fused_configs)) {
+                    try {
+                        SpecReplay &sr = *replays[group.spec];
+                        std::call_once(sr.once, [&]() {
+                            TELEM_SPAN(prepare_span,
+                                       "sweep.trace.prepare");
+                            prepare_span.tag("workload", spec.name);
+                            sr.replay = prepareReplay(
+                                spec.makeTrace(options.trace_length));
+                            sr.annotations = annotateReplay(
+                                sr.replay, fused_configs.front());
+                            tallies.traces.fetch_add(1);
+                        });
+                        bool all_match = true;
+                        for (const PipelineConfig &config :
+                             fused_configs) {
+                            if (!sr.annotations.matches(
+                                    config, sr.replay.size())) {
+                                all_match = false;
+                                break;
                             }
-                            noteCellResolved();
-                            out[i] = std::move(result);
                         }
-                        return out;
+                        if (all_match) {
+                            TELEM_SPAN(span, "sweep.cell.fused");
+                            span.tag("workload", spec.name);
+                            span.tag("cells", static_cast<std::uint64_t>(
+                                                  missing.size()));
+                            const auto start =
+                                std::chrono::steady_clock::now();
+                            std::vector<SimResult> fused_results =
+                                simulateMultiDepth(sr.replay,
+                                                   sr.annotations,
+                                                   fused_configs);
+                            // The walk's wall time is genuinely joint;
+                            // attribute an equal share to each cell so
+                            // the per-cell latency distribution stays
+                            // comparable across paths.
+                            const double per_cell =
+                                std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    start)
+                                    .count() /
+                                static_cast<double>(missing.size());
+                            for (std::size_t m = 0; m < missing.size();
+                                 ++m) {
+                                const std::size_t i = missing[m];
+                                const Cell &cell = cells[group.begin + i];
+                                SimResult &result = fused_results[m];
+                                tallies.recordCellSeconds(per_cell);
+                                tallies.computed.fetch_add(1);
+                                tallies.instructions.fetch_add(
+                                    result.instructions);
+                                reportCell(
+                                    spec.name, cell.depth,
+                                    ManifestCell::Outcome::Computed,
+                                    per_cell, result.instructions);
+                                if (cache_.enabled() &&
+                                    cache_.store(keys[i], result)) {
+                                    tallies.stores.fetch_add(1);
+                                }
+                                noteCellResolved();
+                                out[i] = std::move(result);
+                                resolved[i] = 1;
+                            }
+                            return;
+                        }
+                    } catch (...) {
+                        // A failed fused walk is not a failed cell:
+                        // fall through and give every cell its own
+                        // per-cell attempts, with full retry/quarantine
+                        // semantics.
                     }
-                } catch (...) {
-                    // A failed fused walk is not a failed cell: fall
-                    // through and give every cell its own per-cell
-                    // attempts, with full retry/quarantine semantics.
                 }
             }
+
+            for (std::size_t i : missing) {
+                out[i] = computeCell(cells[group.begin + i], keys[i]);
+                resolved[i] = 1;
+            }
+        };
+
+        std::vector<std::size_t> missing = probeMissing();
+        if (missing.empty())
+            return out;
+        if (!shard_coordinator_) {
+            computeMissing(missing);
+            return out;
         }
 
-        for (std::size_t i : missing)
-            out[i] = computeCell(cells[group.begin + i], keys[i]);
-        return out;
+        // Sharded: claim the group before computing. The key hashes
+        // the group's *content* (workload, trace length, every cell
+        // config), so it is identical in every worker process and
+        // across coordinator restarts — group order and thread count
+        // cannot leak in.
+        StableHasher group_hasher;
+        group_hasher.str("grid");
+        hashWorkloadSpec(group_hasher, specs[group.spec]);
+        group_hasher.u64(options.trace_length);
+        for (std::size_t i = 0; i < count; ++i) {
+            hashPipelineConfig(
+                group_hasher,
+                options.configAtDepth(cells[group.begin + i].depth));
+        }
+        const std::string group_key = group_hasher.key().hex();
+
+        while (true) {
+            switch (shard_coordinator_->tryClaim(group_key,
+                                                 group.foreign)) {
+            case ShardCoordinator::Claim::Acquired:
+                // A dead predecessor may have cached a prefix of the
+                // group before crashing: re-probe so only the genuine
+                // remainder is simulated.
+                missing = probeMissing();
+                if (!missing.empty()) {
+                    try {
+                        computeMissing(missing);
+                    } catch (...) {
+                        // fail_fast path: free the lease so a retry
+                        // (or another shard) can claim the group.
+                        shard_coordinator_->release(group_key);
+                        throw;
+                    }
+                }
+                shard_coordinator_->markDone(group_key);
+                return out;
+            case ShardCoordinator::Claim::Done:
+                // Every cell is in the cache or quarantined. Anything
+                // still missing after the probe (a cache eviction
+                // between the owner's store and our load) is computed
+                // locally — correctness over economy.
+                missing = probeMissing();
+                if (!missing.empty())
+                    computeMissing(missing);
+                return out;
+            case ShardCoordinator::Claim::Uncoordinated:
+                computeMissing(missing);
+                return out;
+            case ShardCoordinator::Claim::Busy:
+                // A live worker owns the group and streams results
+                // into the shared cache as it goes; pick up whatever
+                // landed, then poll again. If the owner dies, the next
+                // tryClaim round performs the takeover.
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    shard_coordinator_->pollMs()));
+                missing = probeMissing();
+                if (missing.empty())
+                    return out;
+                break;
+            }
+        }
     };
 
     std::vector<std::vector<SimResult>> grouped =
@@ -740,6 +900,26 @@ SweepEngine::runConfigs(const Trace &trace,
             if (corrupt)
                 tallies.errors.fetch_add(1);
         }
+
+        // Adopt another shard's exhausted-retry hole (docs/SHARDING.md).
+        if (shard_coordinator_) {
+            FailureRecord record;
+            if (shard_coordinator_->lookupQuarantine(
+                    trace.name, config.depth, &record)) {
+                TELEM_SPAN(span, "sweep.cell");
+                span.tag("workload", trace.name);
+                span.tag("depth", config.depth);
+                span.tag("outcome", "quarantined");
+                tallies.quarantined.fetch_add(1);
+                reportCell(trace.name, config.depth,
+                           ManifestCell::Outcome::Quarantined, 0.0, 0,
+                           record.attempts);
+                tallies.recordFailure(0, std::move(record));
+                noteCellResolved();
+                out = holeResult(trace.name, config);
+                return true;
+            }
+        }
         return false;
     };
 
@@ -792,9 +972,12 @@ SweepEngine::runConfigs(const Trace &trace,
             failures.add();
             tallies.quarantined.fetch_add(1);
             span.tag("outcome", "quarantined");
-            tallies.recordFailure(
-                0, FailureRecord{trace.name, config.depth, attempt.cause,
-                                 attempt.failpoint, attempt.attempts});
+            const FailureRecord record{trace.name, config.depth,
+                                       attempt.cause, attempt.failpoint,
+                                       attempt.attempts};
+            if (shard_coordinator_)
+                shard_coordinator_->recordQuarantine(record);
+            tallies.recordFailure(0, record);
             reportCell(trace.name, config.depth,
                        ManifestCell::Outcome::Quarantined,
                        secondsSinceStart(), 0, attempt.attempts);
@@ -828,93 +1011,181 @@ SweepEngine::runConfigs(const Trace &trace,
     {
         std::size_t begin;
         std::size_t end;
+        bool foreign = false; //!< outside this shard's partition
     };
     const unsigned workers =
         parallelWorkerCount(options_.threads, configs.size(), 1);
+    // As in runGrid: sharded group shapes derive from the shard
+    // count so every worker process forms identical groups.
+    const std::size_t schedule_width =
+        shard_coordinator_
+            ? static_cast<std::size_t>(shard_coordinator_->shards()) * 2
+            : static_cast<std::size_t>(workers);
     const std::size_t target_groups =
-        std::max<std::size_t>(1, static_cast<std::size_t>(workers) * 3);
+        std::max<std::size_t>(1, schedule_width * 3);
     const std::size_t group_span = std::max<std::size_t>(
         4, (configs.size() + target_groups - 1) / target_groups);
     std::vector<Group> groups;
     for (std::size_t b = 0; b < configs.size(); b += group_span)
         groups.push_back(
-            Group{b, std::min(configs.size(), b + group_span)});
+            Group{b, std::min(configs.size(), b + group_span), false});
+    if (shard_coordinator_) {
+        for (std::size_t g = 0; g < groups.size(); ++g)
+            groups[g].foreign = !shard_coordinator_->mine(g);
+        std::stable_partition(groups.begin(), groups.end(),
+                              [](const Group &g) { return !g.foreign; });
+    }
 
     const bool fuse = options_.fused_walk && fusedWalkEnabled();
     auto runGroup = [&](const Group &group) -> std::vector<SimResult> {
         const std::size_t count = group.end - group.begin;
         std::vector<SimResult> results(count);
         std::vector<CacheKey> keys(count);
-        std::vector<std::size_t> missing;
-        for (std::size_t i = 0; i < count; ++i) {
-            if (!probeCell(configs[group.begin + i], results[i], keys[i]))
-                missing.push_back(i);
-        }
+        std::vector<char> resolved(count, 0);
 
-        if (fuse && missing.size() > 1 && !failpoints::anyActive()) {
-            std::vector<PipelineConfig> fused_configs;
-            fused_configs.reserve(missing.size());
-            for (std::size_t i : missing)
-                fused_configs.push_back(configs[group.begin + i]);
-            if (canFuseConfigs(fused_configs)) {
-                try {
-                    std::call_once(replay_once, [&]() {
-                        TELEM_SPAN(prepare_span, "sweep.trace.prepare");
-                        prepare_span.tag("workload", trace.name);
-                        replay = prepareReplay(trace);
-                        annotations = annotateReplay(
-                            replay, fused_configs.front());
-                    });
-                    bool all_match = true;
-                    for (const PipelineConfig &config : fused_configs) {
-                        if (!annotations.matches(config, replay.size())) {
-                            all_match = false;
-                            break;
-                        }
-                    }
-                    if (all_match) {
-                        TELEM_SPAN(span, "sweep.cell.fused");
-                        span.tag("workload", trace.name);
-                        span.tag("cells", static_cast<std::uint64_t>(
-                                              missing.size()));
-                        const auto start =
-                            std::chrono::steady_clock::now();
-                        std::vector<SimResult> fused_results =
-                            simulateMultiDepth(replay, annotations,
-                                               fused_configs);
-                        const double per_cell =
-                            std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - start)
-                                .count() /
-                            static_cast<double>(missing.size());
-                        for (std::size_t m = 0; m < missing.size(); ++m) {
-                            const std::size_t i = missing[m];
-                            SimResult &result = fused_results[m];
-                            tallies.recordCellSeconds(per_cell);
-                            tallies.computed.fetch_add(1);
-                            tallies.instructions.fetch_add(
-                                result.instructions);
-                            reportCell(trace.name, result.depth,
-                                       ManifestCell::Outcome::Computed,
-                                       per_cell, result.instructions);
-                            if (cache_.enabled() &&
-                                cache_.store(keys[i], result)) {
-                                tallies.stores.fetch_add(1);
+        // See runGrid::probeMissing — resolved flags keep re-probes
+        // from double-reporting cells.
+        auto probeMissing = [&]() {
+            std::vector<std::size_t> missing;
+            for (std::size_t i = 0; i < count; ++i) {
+                if (resolved[i])
+                    continue;
+                if (probeCell(configs[group.begin + i], results[i],
+                              keys[i]))
+                    resolved[i] = 1;
+                else
+                    missing.push_back(i);
+            }
+            return missing;
+        };
+
+        auto computeMissing = [&](const std::vector<std::size_t>
+                                      &missing) {
+            if (fuse && missing.size() > 1 && !failpoints::anyActive()) {
+                std::vector<PipelineConfig> fused_configs;
+                fused_configs.reserve(missing.size());
+                for (std::size_t i : missing)
+                    fused_configs.push_back(configs[group.begin + i]);
+                if (canFuseConfigs(fused_configs)) {
+                    try {
+                        std::call_once(replay_once, [&]() {
+                            TELEM_SPAN(prepare_span,
+                                       "sweep.trace.prepare");
+                            prepare_span.tag("workload", trace.name);
+                            replay = prepareReplay(trace);
+                            annotations = annotateReplay(
+                                replay, fused_configs.front());
+                        });
+                        bool all_match = true;
+                        for (const PipelineConfig &config :
+                             fused_configs) {
+                            if (!annotations.matches(config,
+                                                     replay.size())) {
+                                all_match = false;
+                                break;
                             }
-                            noteCellResolved();
-                            results[i] = std::move(result);
                         }
-                        return results;
+                        if (all_match) {
+                            TELEM_SPAN(span, "sweep.cell.fused");
+                            span.tag("workload", trace.name);
+                            span.tag("cells", static_cast<std::uint64_t>(
+                                                  missing.size()));
+                            const auto start =
+                                std::chrono::steady_clock::now();
+                            std::vector<SimResult> fused_results =
+                                simulateMultiDepth(replay, annotations,
+                                                   fused_configs);
+                            const double per_cell =
+                                std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    start)
+                                    .count() /
+                                static_cast<double>(missing.size());
+                            for (std::size_t m = 0; m < missing.size();
+                                 ++m) {
+                                const std::size_t i = missing[m];
+                                SimResult &result = fused_results[m];
+                                tallies.recordCellSeconds(per_cell);
+                                tallies.computed.fetch_add(1);
+                                tallies.instructions.fetch_add(
+                                    result.instructions);
+                                reportCell(
+                                    trace.name, result.depth,
+                                    ManifestCell::Outcome::Computed,
+                                    per_cell, result.instructions);
+                                if (cache_.enabled() &&
+                                    cache_.store(keys[i], result)) {
+                                    tallies.stores.fetch_add(1);
+                                }
+                                noteCellResolved();
+                                results[i] = std::move(result);
+                                resolved[i] = 1;
+                            }
+                            return;
+                        }
+                    } catch (...) {
+                        // Fall back to per-cell attempts below.
                     }
-                } catch (...) {
-                    // Fall back to per-cell attempts below.
                 }
             }
+
+            for (std::size_t i : missing) {
+                results[i] =
+                    computeCell(configs[group.begin + i], keys[i]);
+                resolved[i] = 1;
+            }
+        };
+
+        std::vector<std::size_t> missing = probeMissing();
+        if (missing.empty())
+            return results;
+        if (!shard_coordinator_) {
+            computeMissing(missing);
+            return results;
         }
 
-        for (std::size_t i : missing)
-            results[i] = computeCell(configs[group.begin + i], keys[i]);
-        return results;
+        // Content-based group key, identical across worker processes
+        // (see runGrid). Trace cells hash the trace name + configs;
+        // the cell-level cache keys already hash full contents.
+        StableHasher group_hasher;
+        group_hasher.str("configs");
+        group_hasher.str(trace.name);
+        for (std::size_t i = 0; i < count; ++i)
+            hashPipelineConfig(group_hasher, configs[group.begin + i]);
+        const std::string group_key = group_hasher.key().hex();
+
+        while (true) {
+            switch (shard_coordinator_->tryClaim(group_key,
+                                                 group.foreign)) {
+            case ShardCoordinator::Claim::Acquired:
+                missing = probeMissing();
+                if (!missing.empty()) {
+                    try {
+                        computeMissing(missing);
+                    } catch (...) {
+                        shard_coordinator_->release(group_key);
+                        throw;
+                    }
+                }
+                shard_coordinator_->markDone(group_key);
+                return results;
+            case ShardCoordinator::Claim::Done:
+                missing = probeMissing();
+                if (!missing.empty())
+                    computeMissing(missing);
+                return results;
+            case ShardCoordinator::Claim::Uncoordinated:
+                computeMissing(missing);
+                return results;
+            case ShardCoordinator::Claim::Busy:
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    shard_coordinator_->pollMs()));
+                missing = probeMissing();
+                if (missing.empty())
+                    return results;
+                break;
+            }
+        }
     };
 
     std::vector<std::vector<SimResult>> grouped =

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "sweep/checkpoint.hh"
 #include "sweep/depth_sweep.hh"
 #include "sweep/result_cache.hh"
+#include "sweep/shard_coordinator.hh"
 
 namespace pipedepth
 {
@@ -75,6 +77,26 @@ struct SweepEngineOptions
      * exception out of the engine instead of retrying/quarantining.
      */
     bool fail_fast = false;
+    /// @}
+
+    /// @name Sharded sweeps (docs/SHARDING.md)
+    /// @{
+    /**
+     * Total worker processes cooperating on this grid; 1 = sharding
+     * off. With shards > 1 the engine claims cell groups through a
+     * ShardCoordinator in @p shard_dir before computing them, waits
+     * out (or takes over from) groups owned by other live workers,
+     * and resolves cross-shard results through the shared result
+     * cache. Requires the cache — an engine with shards > 1 and no
+     * usable cache warns and runs unsharded — and a @p shard_dir all
+     * workers agree on. Group partitioning is derived from the shard
+     * count (never from thread count), so every worker forms the
+     * same groups.
+     */
+    unsigned shards = 1;
+    unsigned shard_id = 0;  //!< this worker, in [0, shards)
+    std::string shard_dir;  //!< shared coordination directory
+    unsigned shard_poll_ms = 25; //!< poll interval on a busy lease
     /// @}
 
     /**
@@ -179,6 +201,13 @@ class SweepEngine
     bool cacheEnabled() const { return cache_.enabled(); }
     const std::string &cacheDir() const { return cache_.dir(); }
 
+    /** Non-null when this engine runs as one shard of a sharded
+     *  sweep (shards > 1 with a usable cache and shard_dir). */
+    const ShardCoordinator *shardCoordinator() const
+    {
+        return shard_coordinator_.get();
+    }
+
     /**
      * Report every subsequent cell outcome (computed / cached /
      * failed, with wall seconds and instructions) to @p manifest,
@@ -228,6 +257,7 @@ class SweepEngine
 
     SweepEngineOptions options_;
     ResultCache cache_;
+    std::unique_ptr<ShardCoordinator> shard_coordinator_;
     SweepCounters counters_;
     RunManifest *manifest_ = nullptr;
     std::vector<FailureRecord> last_failures_;

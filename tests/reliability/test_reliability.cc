@@ -762,5 +762,156 @@ TEST_F(ReliabilityTest, PipesimSweepCompletesUnderInjectedFaults)
     EXPECT_GT(doc.find("cell_counts")->find("quarantined")->number, 0.0);
 }
 
+// ---------------------------------------------------------------------
+// Sharded sweeps under worker crashes (docs/SHARDING.md)
+
+/** Any `done.*` group marker in the coordination directory yet? */
+bool
+shardProgressVisible(const std::filesystem::path &shard_dir)
+{
+    std::error_code ec;
+    if (!std::filesystem::exists(shard_dir, ec) || ec)
+        return false;
+    for (const auto &e :
+         std::filesystem::directory_iterator(shard_dir, ec)) {
+        if (e.path().filename().string().rfind("done.", 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+TEST_F(ReliabilityTest, ShardedWorkersSurviveSigkillByteIdentical)
+{
+    // Four standalone shard workers share one result cache and one
+    // coordination directory. One is SIGKILLed mid-run; the survivors
+    // take over its leases, steal its partition, and each still emits
+    // the complete grid — byte-identical to an unsharded run from a
+    // separate cache.
+    const std::filesystem::path ref_out = dir_ / "reference.csv";
+    ASSERT_EQ(runShell("PIPEDEPTH_CACHE_DIR=" +
+                       (dir_ / "cache-ref").string() + " " +
+                       PIPESIM_PATH +
+                       " --workload db1 --sweep --csv --length 20000"
+                       " --warmup 5000 --threads 2 > " +
+                       ref_out.string() + " 2>/dev/null"),
+              0);
+
+    const std::string shared_cache = (dir_ / "cache-shared").string();
+    const std::filesystem::path shard_dir = dir_ / "coord";
+    pid_t workers[4] = {};
+    for (unsigned k = 0; k < 4; ++k) {
+        const std::string out =
+            (dir_ / ("worker" + std::to_string(k) + ".csv")).string();
+        const pid_t pid = fork();
+        ASSERT_NE(pid, -1);
+        if (pid == 0) {
+            ::setenv("PIPEDEPTH_CACHE_DIR", shared_cache.c_str(), 1);
+            std::freopen(out.c_str(), "w", stdout);
+            std::freopen("/dev/null", "w", stderr);
+            ::execl(PIPESIM_PATH, PIPESIM_PATH, "--workload", "db1",
+                    "--sweep", "--csv", "--length", "20000", "--warmup",
+                    "5000", "--threads", "2", "--shards", "4",
+                    "--shard-id", std::to_string(k).c_str(),
+                    "--shard-dir", shard_dir.string().c_str(),
+                    static_cast<char *>(nullptr));
+            ::_exit(127);
+        }
+        workers[k] = pid;
+    }
+
+    // Kill worker 1 as soon as any group completes (it may hold a
+    // lease mid-group at that point — the interesting case; it may
+    // also already be done, the benign race this test accepts). Reap
+    // it immediately: to kill(pid, 0) a zombie is still alive, so an
+    // unreaped victim would hold its lease against every survivor —
+    // exactly why the protocol requires whoever spawns workers to
+    // reap them promptly (the coordinator's waitpid loop does).
+    for (int i = 0; i < 2000 && !shardProgressVisible(shard_dir); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ::kill(workers[1], SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(workers[1], &status, 0), workers[1]);
+
+    for (unsigned k = 0; k < 4; ++k) {
+        if (k == 1)
+            continue; // SIGKILLed (or possibly finished first)
+        status = 0;
+        ASSERT_EQ(waitpid(workers[k], &status, 0), workers[k]);
+        ASSERT_TRUE(WIFEXITED(status)) << "worker " << k;
+        EXPECT_EQ(WEXITSTATUS(status), 0) << "worker " << k;
+    }
+
+    // Every survivor holds the full, byte-identical grid.
+    const std::string want = slurp(ref_out);
+    ASSERT_FALSE(want.empty());
+    EXPECT_EQ(slurp(dir_ / "worker0.csv"), want);
+    EXPECT_EQ(slurp(dir_ / "worker2.csv"), want);
+    EXPECT_EQ(slurp(dir_ / "worker3.csv"), want);
+}
+
+TEST_F(ReliabilityTest, ShardCoordinatorRestartsKilledWorker)
+{
+    // Coordinator mode: pipesim --shards 4 forks its own workers,
+    // SIGKILLing one must be absorbed (restart within budget) and the
+    // merged output still matches the unsharded reference.
+    const std::filesystem::path ref_out = dir_ / "reference.csv";
+    ASSERT_EQ(runShell("PIPEDEPTH_CACHE_DIR=" +
+                       (dir_ / "cache-ref").string() + " " +
+                       PIPESIM_PATH +
+                       " --workload db1 --sweep --csv --length 20000"
+                       " --warmup 5000 --threads 2 > " +
+                       ref_out.string() + " 2>/dev/null"),
+              0);
+
+    const std::filesystem::path out = dir_ / "sharded.csv";
+    const std::filesystem::path err = dir_ / "coordinator.err";
+    const std::filesystem::path shard_dir = dir_ / "coord";
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        ::setenv("PIPEDEPTH_CACHE_DIR",
+                 (dir_ / "cache-sharded").string().c_str(), 1);
+        std::freopen(out.string().c_str(), "w", stdout);
+        std::freopen(err.string().c_str(), "w", stderr);
+        ::execl(PIPESIM_PATH, PIPESIM_PATH, "--workload", "db1",
+                "--sweep", "--csv", "--length", "20000", "--warmup",
+                "5000", "--threads", "2", "--shards", "4",
+                "--shard-dir", shard_dir.string().c_str(),
+                static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+
+    // The coordinator announces every worker on stderr:
+    //   "pipesim: shard 1 worker pid 12345". Kill that one.
+    pid_t victim = 0;
+    for (int i = 0; i < 2000 && victim == 0; ++i) {
+        std::istringstream lines(slurp(err));
+        std::string line;
+        while (std::getline(lines, line)) {
+            const std::string tag = "shard 1 worker pid ";
+            const auto pos = line.find(tag);
+            if (pos != std::string::npos) {
+                victim = static_cast<pid_t>(
+                    std::atol(line.c_str() + pos + tag.size()));
+                break;
+            }
+        }
+        if (victim == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_NE(victim, 0) << slurp(err);
+    // ESRCH just means the worker finished first — the benign race.
+    ::kill(victim, SIGKILL);
+
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << slurp(err);
+    EXPECT_EQ(WEXITSTATUS(status), 0) << slurp(err);
+
+    const std::string want = slurp(ref_out);
+    ASSERT_FALSE(want.empty());
+    EXPECT_EQ(slurp(out), want);
+}
+
 } // namespace
 } // namespace pipedepth

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <sys/wait.h>
@@ -85,7 +86,9 @@ class ServerTest : public ::testing::Test
                     cache_dir_.c_str(), "--max-line-bytes",
                     max_line.c_str(), "--access-log",
                     access_log_path_.c_str(), "--slow-ms",
-                    slow_ms_.c_str(), static_cast<char *>(nullptr));
+                    slow_ms_.c_str(), "--idle-timeout-ms",
+                    idle_timeout_ms_.c_str(),
+                    static_cast<char *>(nullptr));
             _exit(127);
         }
 
@@ -306,6 +309,8 @@ class ServerTest : public ::testing::Test
      * no test request trips it; SlowMirrorServerTest lowers it.
      */
     std::string slow_ms_ = "60000";
+    /** Slow-loris timeout; 0 = off. IdleTimeoutServerTest sets it. */
+    std::string idle_timeout_ms_ = "0";
     pid_t daemon_pid_ = -1;
 };
 
@@ -725,6 +730,71 @@ TEST_F(SlowMirrorServerTest, SlowRequestMirroredExactlyOnce)
     EXPECT_EQ(mirrors, 1u) << log;
     EXPECT_NE(log.find("trace_id=slow-trace-1"), std::string::npos)
         << log;
+}
+
+/** Same daemon, with a 200ms slow-loris idle timeout armed. */
+class IdleTimeoutServerTest : public ServerTest
+{
+  protected:
+    IdleTimeoutServerTest() { idle_timeout_ms_ = "200"; }
+};
+
+TEST_F(IdleTimeoutServerTest, MidLineStallIsClosedKeepAliveIsNot)
+{
+    // Open a legitimate keep-alive first: no bytes sent, so however
+    // long it idles it must never be expired.
+    const int keep = tryConnect();
+    ASSERT_NE(keep, -1);
+
+    // The slow loris: bytes buffered, no newline, nothing in flight.
+    // The daemon must close it once it idles past the timeout —
+    // observable as EOF on our side, with no error line first.
+    const int loris = tryConnect();
+    ASSERT_NE(loris, -1);
+    const char half[] = "{\"id\": \"half";
+    ASSERT_EQ(::write(loris, half, sizeof(half) - 1),
+              static_cast<ssize_t>(sizeof(half) - 1));
+    pollfd pfd{};
+    pfd.fd = loris;
+    pfd.events = POLLIN;
+    ASSERT_GT(::poll(&pfd, 1, 5000), 0)
+        << "stalled connection was not closed";
+    char byte = 0;
+    EXPECT_EQ(::read(loris, &byte, 1), 0) << "expected EOF, got data";
+    ::close(loris);
+
+    // The expiry is counted: the stats snapshot carries the metric.
+    const auto stats =
+        transact("{\"id\": \"st\", \"type\": \"stats\"}\n");
+    ASSERT_EQ(stats.size(), 1u);
+    const JsonValue doc = parseLine(stats[0]);
+    const JsonValue *metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    const JsonValue *closed = metrics->find("server.conn.idle.closed");
+    ASSERT_NE(closed, nullptr) << stats[0];
+    EXPECT_GE(closed->find("value")->number, 1.0);
+
+    // Make sure the keep-alive has now idled well past the timeout,
+    // then use it: the daemon must still answer on that connection.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    const std::string req = goodRequest("after-idle");
+    ASSERT_EQ(::write(keep, req.data(), req.size()),
+              static_cast<ssize_t>(req.size()));
+    ::shutdown(keep, SHUT_WR);
+    std::string buf;
+    char chunk[65536];
+    ssize_t n = 0;
+    while ((n = ::read(keep, chunk, sizeof(chunk))) > 0)
+        buf.append(chunk, static_cast<std::size_t>(n));
+    ::close(keep);
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    for (std::size_t nl = buf.find('\n', start);
+         nl != std::string::npos; nl = buf.find('\n', start)) {
+        lines.push_back(buf.substr(start, nl - start));
+        start = nl + 1;
+    }
+    expectGoodSweep(lines, "after-idle");
 }
 
 } // namespace

@@ -53,17 +53,42 @@
  * SPEC / --failpoint-seed N inject deterministic faults (same syntax
  * as PIPEDEPTH_FAILPOINTS; see common/failpoint.hh).
  *
+ * Sharding (docs/SHARDING.md): --sweep --shards N splits the grid
+ * over N worker processes coordinated through lease files in a shared
+ * directory, with the result cache as the shared result substrate.
+ * Without --shard-id, this process is the *coordinator*: it forks the
+ * N workers, restarts crashed ones (up to --restart-budget times
+ * total), then runs the merged pass — every cell a cache hit — so its
+ * output is byte-identical to an unsharded run. With --shard-id K it
+ * is worker K of N: it claims its partition first, steals the rest,
+ * takes over leases of dead workers, and writes a rollup
+ * (shard.K.json) into the coordination directory on exit.
+ * --shard-dir overrides the directory (workers default to a
+ * config-hash-derived path under the cache, so independently launched
+ * workers of the same grid agree). Sharding requires --sweep and the
+ * cache, and combines with neither --checkpoint nor --resume (the
+ * shared cache already makes re-runs resume).
+ *
  * Unknown flags, a missing flag argument, or an unknown workload name
  * print usage / the catalog hint and exit with status 2; simulation
  * failures exit 1; a sweep that completed but quarantined cells exits
- * 3; a drained (interrupted) run exits 130.
+ * 3, as does a coordinator whose restart budget ran out (partial
+ * completion — re-run to resume from the cache); a drained
+ * (interrupted) run exits 130.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "calib/extract.hh"
 #include "common/failpoint.hh"
@@ -75,8 +100,10 @@
 #include "sweep/cache_key.hh"
 #include "sweep/checkpoint.hh"
 #include "sweep/result_cache.hh"
+#include "sweep/shard_coordinator.hh"
 #include "sweep/sweep_engine.hh"
 #include "telemetry/manifest.hh"
+#include "telemetry/metrics.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/trace_io.hh"
 #include "uarch/simulator.hh"
@@ -101,6 +128,8 @@ usage(const char *argv0)
         "          [--max-retries N] [--retry-backoff-ms N]\n"
         "          [--checkpoint FILE] [--failpoint SPEC]\n"
         "          [--failpoint-seed N]\n"
+        "          [--shards N [--shard-id K] [--shard-dir DIR]\n"
+        "           [--shard-poll-ms N] [--restart-budget N]]\n"
         "       %s --resume FILE\n",
         argv0, argv0);
     std::exit(2);
@@ -126,6 +155,11 @@ struct Options
     unsigned threads = 0;
     unsigned max_retries = 2;
     unsigned retry_backoff_ms = 10;
+    unsigned shards = 1;        //!< worker processes; 1 = sharding off
+    int shard_id = -1;          //!< this worker; -1 = coordinator
+    std::string shard_dir;      //!< shared coordination directory
+    unsigned shard_poll_ms = 25;
+    unsigned restart_budget = 3; //!< total crash-restarts allowed
     std::string failpoint_spec;
     std::uint64_t failpoint_seed = 1;
     std::size_t length = 200000;
@@ -197,6 +231,23 @@ parseArgs(const std::vector<std::string> &args, Options &opt)
                 std::strtoull(args[++i].c_str(), nullptr, 10);
         } else if (arg == "--threads" && has_value) {
             opt.threads = static_cast<unsigned>(
+                std::strtoul(args[++i].c_str(), nullptr, 10));
+        } else if (arg == "--shards" && has_value) {
+            opt.shards = static_cast<unsigned>(
+                std::strtoul(args[++i].c_str(), nullptr, 10));
+            if (opt.shards == 0)
+                return false;
+        } else if (arg == "--shard-id" && has_value) {
+            opt.shard_id = std::atoi(args[++i].c_str());
+            if (opt.shard_id < 0)
+                return false;
+        } else if (arg == "--shard-dir" && has_value) {
+            opt.shard_dir = args[++i];
+        } else if (arg == "--shard-poll-ms" && has_value) {
+            opt.shard_poll_ms = static_cast<unsigned>(
+                std::strtoul(args[++i].c_str(), nullptr, 10));
+        } else if (arg == "--restart-budget" && has_value) {
+            opt.restart_budget = static_cast<unsigned>(
                 std::strtoul(args[++i].c_str(), nullptr, 10));
         } else if (arg == "--predictor" && has_value) {
             const std::string kind = args[++i];
@@ -418,6 +469,208 @@ printFailures(const std::vector<FailureRecord> &failures)
     }
 }
 
+/**
+ * Coordinator half of --shards N: fork the N workers (stdout silenced
+ * — only the coordinator's merged pass prints results), supervise
+ * them, and restart crashed ones until @p opt.restart_budget is
+ * spent. A worker exit of 0 (clean), 3 (quarantined cells — the
+ * merged pass reproduces the holes) or 130 (drained) is final;
+ * anything else, including death by signal, is a crash.
+ *
+ * @return 0 when every worker finished (rollups in @p rollups), 130
+ * on interrupt, 3 when the restart budget ran out (partial results
+ * remain in the cache; re-running the same command resumes), 2 on
+ * setup failure.
+ */
+int
+superviseShardWorkers(const char *argv0,
+                      const std::vector<std::string> &args,
+                      const Options &opt, const std::string &shard_dir,
+                      std::vector<ShardRollup> *rollups)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(shard_dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "%s: cannot create shard dir '%s': %s\n",
+                     argv0, shard_dir.c_str(), ec.message().c_str());
+        return 2;
+    }
+
+    // Worker argv: the effective args minus the output-emitting flags
+    // (the merged pass emits those exactly once) and minus any shard
+    // identity, which is re-appended per worker below.
+    std::vector<std::string> worker_args;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--manifest-out" || a == "--trace-out" ||
+            a == "--events-out" || a == "--perf-json" ||
+            a == "--shard-dir" || a == "--shards" ||
+            a == "--shard-id") {
+            ++i;
+            continue;
+        }
+        worker_args.push_back(a);
+    }
+    worker_args.push_back("--shards");
+    worker_args.push_back(std::to_string(opt.shards));
+    worker_args.push_back("--shard-dir");
+    worker_args.push_back(shard_dir);
+
+    // Re-exec this binary. /proc/self/exe survives $PATH lookups and
+    // cwd changes; argv[0] is the fallback off Linux.
+    char exe[4096];
+    const ssize_t exe_len =
+        ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    const std::string binary = exe_len > 0
+                                   ? std::string(exe, static_cast<
+                                                          std::size_t>(
+                                                          exe_len))
+                                   : std::string(argv0);
+
+    auto spawn = [&](unsigned shard) -> pid_t {
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            const int null_fd = ::open("/dev/null", O_WRONLY);
+            if (null_fd >= 0) {
+                ::dup2(null_fd, STDOUT_FILENO);
+                ::close(null_fd);
+            }
+            std::vector<std::string> child_args = worker_args;
+            child_args.push_back("--shard-id");
+            child_args.push_back(std::to_string(shard));
+            std::vector<char *> child_argv;
+            child_argv.push_back(const_cast<char *>(binary.c_str()));
+            for (std::string &a : child_args)
+                child_argv.push_back(const_cast<char *>(a.c_str()));
+            child_argv.push_back(nullptr);
+            ::execv(binary.c_str(), child_argv.data());
+            std::fprintf(stderr, "pipesim: cannot exec '%s': %s\n",
+                         binary.c_str(), std::strerror(errno));
+            ::_exit(127);
+        }
+        if (pid > 0) {
+            // Parsed by tests and operators alike; keep the format.
+            std::fprintf(stderr, "pipesim: shard %u worker pid %ld\n",
+                         shard, static_cast<long>(pid));
+        }
+        return pid;
+    };
+
+    installInterruptHandlers();
+    static Counter &restart_counter =
+        MetricsRegistry::instance().counter("sweep.shard.restart");
+
+    std::vector<pid_t> pids(opt.shards, -1);
+    std::vector<int> exit_codes(opt.shards, -1);
+    std::vector<std::uint64_t> restarts(opt.shards, 0);
+    unsigned budget = opt.restart_budget;
+    bool budget_exhausted = false;
+    bool forwarded_interrupt = false;
+    unsigned running = 0;
+    for (unsigned s = 0; s < opt.shards; ++s) {
+        pids[s] = spawn(s);
+        if (pids[s] < 0) {
+            std::fprintf(stderr, "%s: fork: %s\n", argv0,
+                         std::strerror(errno));
+            for (unsigned k = 0; k < s; ++k)
+                ::kill(pids[k], SIGTERM);
+            return 2;
+        }
+        ++running;
+    }
+
+    while (running > 0) {
+        if (interruptRequested() && !forwarded_interrupt) {
+            // Workers drain gracefully (their in-flight cells land in
+            // the cache) and exit 130.
+            forwarded_interrupt = true;
+            for (unsigned s = 0; s < opt.shards; ++s) {
+                if (pids[s] > 0 && exit_codes[s] < 0)
+                    ::kill(pids[s], SIGTERM);
+            }
+        }
+        int status = 0;
+        const pid_t dead = ::waitpid(-1, &status, 0);
+        if (dead < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        unsigned s = opt.shards;
+        for (unsigned k = 0; k < opt.shards; ++k) {
+            if (pids[k] == dead && exit_codes[k] < 0)
+                s = k;
+        }
+        if (s == opt.shards)
+            continue;
+
+        const bool final_exit =
+            WIFEXITED(status) && (WEXITSTATUS(status) == 0 ||
+                                  WEXITSTATUS(status) == 3 ||
+                                  WEXITSTATUS(status) == 130);
+        if (final_exit || interruptRequested()) {
+            exit_codes[s] = WIFEXITED(status)
+                                ? WEXITSTATUS(status)
+                                : 128 + WTERMSIG(status);
+            --running;
+            continue;
+        }
+
+        // Crashed (signal) or hard-failed (unexpected exit code).
+        if (WIFSIGNALED(status)) {
+            std::fprintf(stderr,
+                         "pipesim: shard %u worker pid %ld killed by "
+                         "signal %d\n",
+                         s, static_cast<long>(dead), WTERMSIG(status));
+        } else {
+            std::fprintf(stderr,
+                         "pipesim: shard %u worker pid %ld exited %d\n",
+                         s, static_cast<long>(dead),
+                         WEXITSTATUS(status));
+        }
+        if (budget > 0) {
+            --budget;
+            ++restarts[s];
+            restart_counter.add();
+            std::fprintf(stderr,
+                         "pipesim: restarting shard %u (%u restart%s "
+                         "left)\n",
+                         s, budget, budget == 1 ? "" : "s");
+            pids[s] = spawn(s);
+            if (pids[s] > 0)
+                continue;
+            std::fprintf(stderr, "%s: fork: %s\n", argv0,
+                         std::strerror(errno));
+        }
+        budget_exhausted = true;
+        exit_codes[s] = WIFEXITED(status) ? WEXITSTATUS(status)
+                                          : 128 + WTERMSIG(status);
+        --running;
+    }
+
+    if (interruptRequested()) {
+        std::fprintf(stderr,
+                     "pipesim: interrupted; partial shard results are "
+                     "cached\n");
+        return 130;
+    }
+    if (budget_exhausted) {
+        std::fprintf(
+            stderr,
+            "pipesim: shard restart budget exhausted; partial results "
+            "remain in the result cache — re-run the same command to "
+            "resume\n");
+        return 3;
+    }
+
+    *rollups = readShardRollups(shard_dir, opt.shards);
+    for (ShardRollup &r : *rollups) {
+        if (r.shard_id < opt.shards)
+            r.restarts = restarts[r.shard_id];
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -473,6 +726,38 @@ main(int argc, char **argv)
 
     if (opt.tape.empty() == opt.workload.empty())
         usage(argv[0]); // exactly one source
+
+    if (opt.shards > 1) {
+        if (!opt.sweep) {
+            std::fprintf(stderr, "%s: --shards requires --sweep\n",
+                         argv[0]);
+            return 2;
+        }
+        if (opt.no_cache) {
+            std::fprintf(stderr,
+                         "%s: --shards needs the result cache (the "
+                         "shared result substrate); drop --no-cache\n",
+                         argv[0]);
+            return 2;
+        }
+        if (!opt.checkpoint.empty()) {
+            std::fprintf(stderr,
+                         "%s: --shards does not combine with "
+                         "--checkpoint/--resume; sharded runs resume "
+                         "through the shared result cache — just re-run "
+                         "the same command\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (opt.shard_id >= 0 &&
+        (opt.shards <= 1 ||
+         static_cast<unsigned>(opt.shard_id) >= opt.shards)) {
+        std::fprintf(stderr,
+                     "%s: --shard-id %d needs --shards N with N > %d\n",
+                     argv[0], opt.shard_id, opt.shard_id);
+        return 2;
+    }
 
     if (!opt.failpoint_spec.empty()) {
         failpoints::setSeed(opt.failpoint_seed);
@@ -543,12 +828,62 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Sharded sweeps coordinate through a shared directory. Workers
+    // default to a config-hash-derived path under the cache, so
+    // independently launched workers of the same grid agree on it;
+    // a forking coordinator instead makes a fresh pid-suffixed one,
+    // so stale lease/quarantine state of an earlier run cannot leak
+    // into this one.
+    std::string shard_dir = opt.shard_dir;
+    bool created_shard_dir = false;
+    std::vector<ShardRollup> shard_rollups;
+    if (opt.shards > 1 && shard_dir.empty()) {
+        const std::string cache_dir = ResultCache::resolveDefaultDir();
+        if (cache_dir.empty()) {
+            std::fprintf(stderr,
+                         "%s: --shards requires a usable result cache "
+                         "directory\n",
+                         argv[0]);
+            return 2;
+        }
+        shard_dir = cache_dir + "/shards/" + config_hash;
+        if (opt.shard_id < 0) {
+            shard_dir += "." + std::to_string(
+                                   static_cast<long>(::getpid()));
+            created_shard_dir = true;
+        }
+    }
+    if (opt.shards > 1 && opt.shard_id < 0) {
+        const int rc = superviseShardWorkers(argv[0], args, opt,
+                                             shard_dir, &shard_rollups);
+        if (rc != 0)
+            return rc;
+        // Every worker finished: fall through to the merged pass.
+        // With the engine below sharded too, it resolves every cell
+        // from the cache (and adopts quarantine records), making its
+        // output byte-identical to an unsharded run of this grid.
+    }
+
     SweepEngineOptions engine_options;
     engine_options.threads = opt.threads;
     engine_options.use_cache = !opt.no_cache;
     engine_options.max_retries = opt.max_retries;
     engine_options.retry_backoff_ms = opt.retry_backoff_ms;
+    if (opt.shards > 1) {
+        engine_options.shards = opt.shards;
+        engine_options.shard_id =
+            opt.shard_id < 0 ? 0 : static_cast<unsigned>(opt.shard_id);
+        engine_options.shard_dir = shard_dir;
+        engine_options.shard_poll_ms = opt.shard_poll_ms;
+    }
     SweepEngine engine(engine_options);
+
+    if (opt.shards > 1 && opt.shard_id >= 0) {
+        std::fprintf(stderr,
+                     "pipesim: shard %d/%u pid %ld coordinating in %s\n",
+                     opt.shard_id, opt.shards,
+                     static_cast<long>(::getpid()), shard_dir.c_str());
+    }
 
     RunManifest manifest;
     if (telemetry_on) {
@@ -559,6 +894,17 @@ main(int argc, char **argv)
         manifest.addMeta("trace", trace.name);
         manifest.addMeta("cache_dir",
                          engine.cacheEnabled() ? engine.cacheDir() : "");
+        for (const ShardRollup &r : shard_rollups) {
+            ManifestShard shard;
+            shard.shard_id = r.shard_id;
+            shard.exit_code = r.exit_code;
+            shard.cells_computed = r.cells_computed;
+            shard.cache_hits = r.cache_hits;
+            shard.cells_quarantined = r.cells_quarantined;
+            shard.restarts = r.restarts;
+            shard.wall_seconds = r.wall_seconds;
+            manifest.addShard(shard);
+        }
         if (!opt.events_out.empty())
             manifest.openEvents(opt.events_out);
         engine.attachManifest(&manifest);
@@ -646,6 +992,30 @@ main(int argc, char **argv)
         return exit_code;
     };
 
+    // Sweep-path epilogue on top of finishRun: a shard worker writes
+    // its rollup for the coordinator's merged manifest; a coordinator
+    // removes the per-run coordination directory it created.
+    auto finishSweep = [&](int exit_code) -> int {
+        const int rc = finishRun(exit_code);
+        if (opt.shards > 1 && opt.shard_id >= 0 &&
+            engine.shardCoordinator()) {
+            const SweepCounters c = engine.counters();
+            ShardRollup rollup;
+            rollup.shard_id = static_cast<unsigned>(opt.shard_id);
+            rollup.exit_code = rc;
+            rollup.cells_computed = c.cells_computed;
+            rollup.cache_hits = c.cache_hits;
+            rollup.cells_quarantined = c.cells_quarantined;
+            rollup.wall_seconds = c.wall_seconds;
+            writeShardRollup(engine.shardCoordinator()->dir(), rollup);
+        }
+        if (created_shard_dir && opt.shard_id < 0) {
+            std::error_code ec;
+            std::filesystem::remove_all(shard_dir, ec);
+        }
+        return rc;
+    };
+
     if (!opt.sweep) {
         const SimResult run = engine.runConfigs(trace, configs).front();
         const std::vector<FailureRecord> failures = engine.lastFailures();
@@ -669,7 +1039,7 @@ main(int argc, char **argv)
     const std::vector<FailureRecord> failures = engine.lastFailures();
     printFailures(failures);
     if (interruptRequested())
-        return finishRun(130);
+        return finishSweep(130);
 
     // Quarantined cells leave holes (cycles == 0): the table, fits
     // and calibration run over the live cells only.
@@ -683,7 +1053,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "pipesim: every cell of the sweep failed; no "
                      "results to print\n");
-        return finishRun(1);
+        return finishSweep(1);
     }
 
     const SimResult *ref = nullptr;
@@ -738,5 +1108,5 @@ main(int argc, char **argv)
                         "(share of cycles):\n");
         printStallSweep(live, opt.csv);
     }
-    return finishRun(failures.empty() ? 0 : 3);
+    return finishSweep(failures.empty() ? 0 : 3);
 }

@@ -5,9 +5,16 @@
  * Usage:
  *   pipesimd --socket PATH [--threads N] [--no-cache]
  *            [--cache-dir DIR] [--max-queue N] [--max-line-bytes N]
- *            [--max-retries N] [--manifest-out FILE]
- *            [--events-out FILE] [--access-log FILE] [--slow-ms N]
+ *            [--max-retries N] [--idle-timeout-ms N]
+ *            [--manifest-out FILE] [--events-out FILE]
+ *            [--access-log FILE] [--slow-ms N]
  *            [--failpoint SPEC] [--failpoint-seed N]
+ *
+ * --idle-timeout-ms closes connections that sit *mid-line* — bytes
+ * buffered, no newline, nothing in flight — longer than N ms
+ * (slow-loris hardening; each close counts on
+ * `server.conn.idle.closed`). Idle keep-alive connections with an
+ * empty input buffer are never expired.
  *
  * Observability (docs/OBSERVABILITY.md): every admitted request
  * carries a trace id (client-sent or daemon-minted) echoed on all its
@@ -72,9 +79,10 @@ usage(const char *argv0)
         "usage: %s --socket PATH [--threads N] [--no-cache]\n"
         "          [--cache-dir DIR] [--max-queue N]\n"
         "          [--max-line-bytes N] [--max-retries N]\n"
-        "          [--manifest-out FILE] [--events-out FILE]\n"
-        "          [--access-log FILE] [--slow-ms N]\n"
-        "          [--failpoint SPEC] [--failpoint-seed N]\n",
+        "          [--idle-timeout-ms N] [--manifest-out FILE]\n"
+        "          [--events-out FILE] [--access-log FILE]\n"
+        "          [--slow-ms N] [--failpoint SPEC]\n"
+        "          [--failpoint-seed N]\n",
         argv0);
     std::exit(2);
 }
@@ -128,6 +136,9 @@ main(int argc, char **argv)
         } else if (arg == "--max-retries" && has_value) {
             opt.max_retries = static_cast<unsigned>(
                 std::strtoul(args[++i].c_str(), nullptr, 10));
+        } else if (arg == "--idle-timeout-ms" && has_value) {
+            opt.idle_timeout_ms =
+                std::strtoull(args[++i].c_str(), nullptr, 10);
         } else if (arg == "--manifest-out" && has_value) {
             opt.manifest_out = args[++i];
         } else if (arg == "--events-out" && has_value) {
